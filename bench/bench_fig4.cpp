@@ -1,0 +1,34 @@
+// Regenerates Figure 4: Traffic of Coherency Schemes — mean traffic
+// ratio over the four benchmarks vs cache size, for 1/2/4/8 PEs, one
+// panel per protocol (write-in broadcast, hybrid, conventional
+// write-through). Four-word lines; the paper's write-allocate policy
+// selection per size.
+//
+//   --scale small|paper   workload size (default paper)
+//   --threads N           host threads for the sweep (default: all)
+#include <cstdio>
+
+#include "harness/reports.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  rapwam::Cli cli(argc, argv);
+  rapwam::ReportOptions opt;
+  opt.scale = cli.get("scale", "paper") == "small" ? rapwam::BenchScale::Small
+                                                   : rapwam::BenchScale::Paper;
+  opt.pool_threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  for (const rapwam::TextTable& t : rapwam::fig4_report(opt)) {
+    std::fputs(cli.has("csv") ? t.csv().c_str() : t.str().c_str(), stdout);
+    std::puts("");
+  }
+  std::puts(
+      "Paper's qualitative results to compare against:\n"
+      "  * traffic falls steeply with cache size for broadcast and hybrid,\n"
+      "    flattening (\"bottoming out\") beyond ~1-2K words;\n"
+      "  * write-through stays high (write traffic is not absorbed);\n"
+      "  * hybrid lands between broadcast and write-through, close to\n"
+      "    broadcast;\n"
+      "  * 8 PEs with >=128-word broadcast caches capture >70% of traffic\n"
+      "    (ratio < 0.3).");
+  return 0;
+}

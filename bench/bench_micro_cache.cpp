@@ -1,0 +1,62 @@
+// google-benchmark micro-benchmarks of the multiprocessor cache
+// simulator (host throughput per protocol; governs Figure-4 sweep
+// time).
+#include <benchmark/benchmark.h>
+
+#include "cache/multisim.h"
+#include "harness/runner.h"
+
+namespace {
+
+using namespace rapwam;
+
+const std::vector<u64>& shared_trace() {
+  static std::vector<u64> t = [] {
+    BenchRun r = run_parallel(bench_program("qsort", BenchScale::Small), 4,
+                              /*want_trace=*/true);
+    return r.trace->packed();
+  }();
+  return t;
+}
+
+void BM_Replay(benchmark::State& state) {
+  Protocol p = static_cast<Protocol>(state.range(0));
+  const std::vector<u64>& t = shared_trace();
+  u64 refs = 0;
+  for (auto _ : state) {
+    CacheConfig cfg;
+    cfg.protocol = p;
+    cfg.size_words = 1024;
+    cfg.line_words = 4;
+    cfg.write_allocate = true;
+    MultiCacheSim sim(cfg, 4);
+    sim.replay(t);
+    refs += sim.stats().refs;
+    benchmark::DoNotOptimize(sim.stats().bus_words);
+  }
+  state.counters["refs/s"] =
+      benchmark::Counter(static_cast<double>(refs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Replay)
+    ->Arg(static_cast<int>(Protocol::WriteThrough))
+    ->Arg(static_cast<int>(Protocol::WriteInBroadcast))
+    ->Arg(static_cast<int>(Protocol::WriteThroughBroadcast))
+    ->Arg(static_cast<int>(Protocol::Hybrid))
+    ->Arg(static_cast<int>(Protocol::Copyback));
+
+void BM_LruLookup(benchmark::State& state) {
+  CacheConfig cfg;
+  cfg.size_words = static_cast<u32>(state.range(0));
+  cfg.line_words = 4;
+  Cache c(cfg);
+  for (u64 t = 0; t < cfg.num_lines(); ++t) c.insert(t, LineState::Shared);
+  u64 i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.lookup(i++ % cfg.num_lines()));
+  }
+}
+BENCHMARK(BM_LruLookup)->Arg(256)->Arg(2048)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

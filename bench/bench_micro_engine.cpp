@@ -1,0 +1,67 @@
+// google-benchmark micro-benchmarks of the emulator itself (host
+// performance, not simulated performance): end-to-end solve rate,
+// instruction dispatch throughput, compiler speed.
+#include <benchmark/benchmark.h>
+
+#include "harness/runner.h"
+
+namespace {
+
+using namespace rapwam;
+
+void BM_SolveQsortSmall(benchmark::State& state) {
+  BenchProgram bp = bench_program("qsort", BenchScale::Small);
+  Program prog;
+  prog.consult(bp.source);
+  MachineConfig cfg;
+  cfg.num_pes = static_cast<unsigned>(state.range(0));
+  Machine m(prog, cfg);
+  u64 instr = 0;
+  for (auto _ : state) {
+    RunResult r = m.solve(bp.goal + ".");
+    instr += r.stats.instructions;
+    benchmark::DoNotOptimize(r.success);
+  }
+  state.counters["simulated_instr/s"] = benchmark::Counter(
+      static_cast<double>(instr), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SolveQsortSmall)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_SolveDerivSmall(benchmark::State& state) {
+  BenchProgram bp = bench_program("deriv", BenchScale::Small);
+  Program prog;
+  prog.consult(bp.source);
+  MachineConfig cfg;
+  cfg.num_pes = 4;
+  Machine m(prog, cfg);
+  for (auto _ : state) {
+    RunResult r = m.solve(bp.goal + ".");
+    benchmark::DoNotOptimize(r.solutions);
+  }
+}
+BENCHMARK(BM_SolveDerivSmall);
+
+void BM_CompileBenchmarks(benchmark::State& state) {
+  for (auto _ : state) {
+    Program prog;
+    for (const std::string& n : small_bench_names())
+      prog.consult(bench_program(n, BenchScale::Small).source);
+    auto code = compile_program(prog);
+    benchmark::DoNotOptimize(code->size());
+  }
+}
+BENCHMARK(BM_CompileBenchmarks);
+
+void BM_ParseLargeList(benchmark::State& state) {
+  std::string text = "f(" + gen_int_list(2000, 3) + ").";
+  for (auto _ : state) {
+    Program prog;
+    prog.consult(text);
+    benchmark::DoNotOptimize(prog.predicates().size());
+  }
+}
+BENCHMARK(BM_ParseLargeList);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+// Regenerates the paper's §3.3 back-of-the-envelope: the bus bandwidth
+// a 2-MLIPS shared-memory machine would need, computed from *measured*
+// instructions/inference, references/instruction and cache capture
+// rate instead of the paper's round numbers.
+//
+//   --scale small|paper   workload size (default paper)
+#include <cstdio>
+
+#include "harness/reports.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  rapwam::Cli cli(argc, argv);
+  rapwam::ReportOptions opt;
+  opt.scale = cli.get("scale", "paper") == "small" ? rapwam::BenchScale::Small
+                                                   : rapwam::BenchScale::Paper;
+  rapwam::TextTable t = rapwam::mlips_report(opt);
+  std::fputs(t.str().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Extension experiment: shared-memory efficiency under bus contention.
+//
+// The paper reports traffic ratios and asserts (citing Tick's queueing
+// model) that "with a relatively fast bus and an interleaved memory,
+// shared memory efficiency can be high". This bench closes the loop:
+// it feeds the traffic ratios *measured by our cache simulation* into
+// the contention model and prints the resulting PE efficiency and
+// aggregate speedup for several bus speeds.
+//
+//   --scale small|paper   workload size (default paper)
+#include <cstdio>
+
+#include "cache/multisim.h"
+#include "cache/queueing.h"
+#include "harness/runner.h"
+#include "support/cli.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+using namespace rapwam;
+
+namespace {
+
+double measure_traffic(const BenchProgram& bp, unsigned pes, Protocol proto) {
+  BenchRun r = run_parallel(bp, pes, /*want_trace=*/true);
+  CacheConfig cfg;
+  cfg.protocol = proto;
+  cfg.size_words = 1024;
+  cfg.line_words = 4;
+  cfg.write_allocate = paper_write_allocate(proto, 1024);
+  MultiCacheSim sim(cfg, pes);
+  sim.replay(r.trace->packed());
+  return sim.stats().traffic_ratio();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  BenchScale scale = cli.get("scale", "paper") == "small" ? BenchScale::Small
+                                                          : BenchScale::Paper;
+  BenchProgram bp = bench_program("qsort", scale);
+
+  const double buses[] = {1.0, 0.5, 0.25};  // cycles/word: plain, 2x, 4x interleave
+
+  for (Protocol proto : {Protocol::WriteInBroadcast, Protocol::WriteThrough}) {
+    TextTable t("Shared-memory efficiency, qsort, 1024-word " +
+                std::string(protocol_name(proto)) + " caches");
+    t.header({"PEs", "traffic ratio", "bus s=1.0", "s=0.5", "s=0.25 (interleaved)"});
+    for (unsigned pes : {2u, 4u, 8u, 16u}) {
+      double tr = measure_traffic(bp, pes, proto);
+      std::vector<std::string> row = {std::to_string(pes), fmt(tr, 3)};
+      for (double s : buses) {
+        BusEstimate e = bus_contention(pes, tr, BusParams{s});
+        row.push_back(fmt(e.pe_efficiency, 3) + " (x" + fmt(e.aggregate_speedup, 1) + ")");
+      }
+      t.row(row);
+    }
+    std::fputs(t.str().c_str(), stdout);
+    std::puts("");
+  }
+  std::puts(
+      "Paper §3.3 (via Tick's model): with a fast bus and interleaved\n"
+      "memory, shared-memory efficiency stays high for broadcast caches;\n"
+      "write-through traffic saturates the bus and efficiency collapses.");
+  return 0;
+}

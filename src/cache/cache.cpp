@@ -1,0 +1,47 @@
+#include "cache/cache.h"
+
+namespace rapwam {
+
+Line* Cache::lookup(u64 tag) {
+  Set& st = sets_[set_of(tag)];
+  auto it = st.map.find(tag);
+  if (it == st.map.end()) return nullptr;
+  st.lru.splice(st.lru.begin(), st.lru, it->second);  // move to front
+  return &*it->second;
+}
+
+Line* Cache::probe(u64 tag) {
+  Set& st = sets_[set_of(tag)];
+  auto it = st.map.find(tag);
+  return it == st.map.end() ? nullptr : &*it->second;
+}
+
+Cache::Evicted Cache::insert(u64 tag, LineState state) {
+  Set& st = sets_[set_of(tag)];
+  RW_CHECK(st.map.find(tag) == st.map.end(), "cache insert of present line");
+  std::size_t capacity =
+      cfg_.fully_associative() ? cfg_.num_lines() : cfg_.ways;
+  Evicted ev;
+  if (st.lru.size() >= capacity) {
+    ev.valid = true;
+    ev.line = st.lru.back();
+    st.map.erase(st.lru.back().tag);
+    st.lru.pop_back();
+    --size_;
+  }
+  st.lru.push_front(Line{tag, state});
+  st.map[tag] = st.lru.begin();
+  ++size_;
+  return ev;
+}
+
+void Cache::invalidate(u64 tag) {
+  Set& st = sets_[set_of(tag)];
+  auto it = st.map.find(tag);
+  if (it == st.map.end()) return;
+  st.lru.erase(it->second);
+  st.map.erase(it);
+  --size_;
+}
+
+}  // namespace rapwam

@@ -1,0 +1,75 @@
+// One PE's cache: perfect-LRU replacement, parameterised line size and
+// associativity. The paper's model is fully associative (ways == 0);
+// set-associative configurations exist for the associativity ablation.
+//
+// Lines carry a MESI-like state; the protocol logic in MultiCacheSim
+// decides transitions and bus traffic. The cache itself only manages
+// lookup, insertion and LRU eviction.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/config.h"
+
+namespace rapwam {
+
+enum class LineState : u8 {
+  Invalid,
+  Shared,     ///< clean, possibly in other caches
+  Exclusive,  ///< clean, only copy
+  Dirty,      ///< modified, only valid copy
+};
+
+struct Line {
+  u64 tag = 0;  ///< line address (addr / line_words)
+  LineState state = LineState::Invalid;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg)
+      : cfg_(cfg), sets_(cfg.fully_associative() ? 1 : cfg.num_sets()) {}
+
+  /// Finds the line containing `tag`; touches LRU when found.
+  Line* lookup(u64 tag);
+  /// Finds without touching the LRU order (snoops from other PEs).
+  Line* probe(u64 tag);
+
+  /// Inserts `tag` (must not be present); returns an evicted line by
+  /// value if a valid line had to be displaced.
+  struct Evicted {
+    bool valid = false;
+    Line line;
+  };
+  Evicted insert(u64 tag, LineState st);
+
+  void invalidate(u64 tag);
+
+  std::size_t size() const { return size_; }
+  const CacheConfig& config() const { return cfg_; }
+
+  /// Snapshot of all valid lines (tests, invariant checking).
+  std::vector<Line> lines() const {
+    std::vector<Line> out;
+    out.reserve(size_);
+    for (const Set& st : sets_) out.insert(out.end(), st.lru.begin(), st.lru.end());
+    return out;
+  }
+
+ private:
+  std::size_t set_of(u64 tag) const {
+    return cfg_.fully_associative() ? 0 : tag % cfg_.num_sets();
+  }
+
+  struct Set {
+    std::list<Line> lru;  // front = most recent
+    std::unordered_map<u64, std::list<Line>::iterator> map;
+  };
+  CacheConfig cfg_;
+  std::vector<Set> sets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rapwam

@@ -1,0 +1,48 @@
+// Cache simulation configuration: coherency protocol, geometry and
+// allocation policy — the knobs the paper sweeps in Figure 4.
+#pragma once
+
+#include <string>
+
+#include "support/common.h"
+
+namespace rapwam {
+
+/// Coherency protocols simulated (paper §3.1).
+enum class Protocol : u8 {
+  WriteThrough,      ///< conventional coherent write-through (invalidate)
+  WriteInBroadcast,  ///< distributed broadcast, write-invalidate, copy-back
+  WriteThroughBroadcast,  ///< distributed broadcast, write-update
+  Hybrid,            ///< tag-driven: global data write-through, local copy-back
+  Copyback,          ///< non-coherent copy-back (sequential baseline, Table 3)
+};
+
+std::string protocol_name(Protocol p);
+
+struct CacheConfig {
+  Protocol protocol = Protocol::WriteInBroadcast;
+  u32 size_words = 1024;     ///< total capacity per PE cache
+  u32 line_words = 4;        ///< four-word lines throughout the paper
+  bool write_allocate = true;
+  /// Set associativity; 0 = fully associative (the paper's model).
+  /// Real machines of the era were direct-mapped or 2/4-way — the
+  /// associativity ablation quantifies how idealised the paper's
+  /// fully-associative perfect-LRU assumption is.
+  u32 ways = 0;
+
+  u32 num_lines() const { return size_words / line_words; }
+  u32 num_sets() const {
+    u32 w = (ways == 0) ? num_lines() : ways;
+    return num_lines() / w;
+  }
+  bool fully_associative() const { return ways == 0 || ways >= num_lines(); }
+};
+
+/// The paper's Figure-4 policy: no-write-allocate for small caches,
+/// write-allocate from 512 words up (hybrid switches at 1024).
+inline bool paper_write_allocate(Protocol p, u32 size_words) {
+  u32 threshold = (p == Protocol::Hybrid) ? 1024 : 512;
+  return size_words >= threshold;
+}
+
+}  // namespace rapwam

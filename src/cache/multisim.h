@@ -1,0 +1,77 @@
+// Multiprocessor coherent-cache simulator.
+//
+// Replays a memory-reference trace (global interleaved order) through
+// one cache per PE and accounts bus traffic in words, per the paper's
+// metric: traffic ratio = words moved on the bus / words demanded by
+// the processors. Implements the five protocols of §3.1.
+#pragma once
+
+#include <vector>
+
+#include "cache/cache.h"
+#include "trace/tracebuf.h"
+
+namespace rapwam {
+
+struct TrafficStats {
+  u64 refs = 0;
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 misses = 0;
+  u64 bus_words = 0;         ///< total words on the bus
+  u64 fetch_words = 0;       ///< line fills (memory or cache supplier)
+  u64 writeback_words = 0;   ///< dirty evictions
+  u64 writethrough_words = 0;///< single-word writes to memory
+  u64 invalidations = 0;     ///< invalidation broadcasts (1 word-time each)
+  u64 update_words = 0;      ///< write-update broadcasts
+  u64 flush_words = 0;       ///< dirty lines supplied cache-to-cache
+  u64 coherence_violations = 0;  ///< hybrid: local-tagged line shared
+
+  double traffic_ratio() const {
+    return refs ? static_cast<double>(bus_words) / static_cast<double>(refs) : 0.0;
+  }
+  double miss_ratio() const {
+    return refs ? static_cast<double>(misses) / static_cast<double>(refs) : 0.0;
+  }
+};
+
+class MultiCacheSim {
+ public:
+  MultiCacheSim(const CacheConfig& cfg, unsigned num_pes);
+
+  void access(const MemRef& r);
+  void replay(const std::vector<u64>& packed);
+
+  const TrafficStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return cfg_; }
+  const Cache& cache(unsigned pe) const { return caches_[pe]; }
+  unsigned num_caches() const { return static_cast<unsigned>(caches_.size()); }
+
+  /// Protocol coherence invariants (tests): at most one Dirty holder
+  /// per line, and a Dirty/Exclusive line has no other holders.
+  bool invariants_ok() const;
+
+ private:
+  u64 tag_of(u64 addr) const { return addr / cfg_.line_words; }
+  u64 L() const { return cfg_.line_words; }
+  /// True if any cache other than `pe` holds the tag; optionally
+  /// invalidates them / reports a dirty holder.
+  bool others_hold(unsigned pe, u64 tag) const;
+  int dirty_holder(unsigned pe, u64 tag) const;  // -1 if none
+  void invalidate_others(unsigned pe, u64 tag);
+  /// Remote Exclusive copies become Shared when `pe` obtains a copy.
+  void demote_exclusive_others(unsigned pe, u64 tag);
+  void fill(unsigned pe, u64 tag, LineState st);
+
+  void access_write_through(const MemRef& r);
+  void access_copyback(const MemRef& r);
+  void access_write_in_broadcast(const MemRef& r);
+  void access_write_update_broadcast(const MemRef& r);
+  void access_hybrid(const MemRef& r);
+
+  CacheConfig cfg_;
+  std::vector<Cache> caches_;
+  TrafficStats stats_;
+};
+
+}  // namespace rapwam

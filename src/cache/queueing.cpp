@@ -1,0 +1,53 @@
+#include "cache/queueing.h"
+
+#include <cmath>
+
+namespace rapwam {
+
+namespace {
+
+/// Cycles per reference a PE needs when running at efficiency `e`
+/// against `pes-1` peers: 1 compute cycle + t bus words, each costing
+/// the service time plus the M/D/1 queueing delay at utilisation rho.
+double cycles_per_ref(unsigned pes, double e, double t, double s) {
+  double rho = static_cast<double>(pes) * e * t * s;
+  if (rho >= 1.0) return 1e18;  // past saturation: effectively infinite
+  double wait = s * rho / (2.0 * (1.0 - rho));
+  return 1.0 + t * (s + wait);
+}
+
+}  // namespace
+
+BusEstimate bus_contention(unsigned pes, double traffic_ratio, const BusParams& p) {
+  if (traffic_ratio < 0 || p.service_cycles < 0)
+    fail("bus model: negative traffic ratio or service time");
+  BusEstimate out;
+  if (pes == 0 || traffic_ratio == 0 || p.service_cycles == 0) {
+    out.pe_efficiency = 1.0;
+    out.aggregate_speedup = static_cast<double>(pes);
+    return out;
+  }
+
+  // The consistent operating point satisfies e = 1/cycles_per_ref(e).
+  // g(e) = e - 1/cycles_per_ref(e) is monotone increasing (higher
+  // efficiency => higher bus load => longer queues => lower achievable
+  // rate), so the root is unique; bisect on e in (0, 1].
+  const double t = traffic_ratio;
+  const double s = p.service_cycles;
+  double lo = 0.0, hi = 1.0;
+  int i = 0;
+  for (; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    double g = mid - 1.0 / cycles_per_ref(pes, mid, t, s);
+    if (g > 0) hi = mid; else lo = mid;
+    if (hi - lo < 1e-12) break;
+  }
+  double e = 0.5 * (lo + hi);
+  out.iterations = i + 1;
+  out.pe_efficiency = e;
+  out.utilization = std::min(1.0, static_cast<double>(pes) * e * t * s);
+  out.aggregate_speedup = static_cast<double>(pes) * e;
+  return out;
+}
+
+}  // namespace rapwam

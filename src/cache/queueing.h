@@ -1,0 +1,42 @@
+// Bus/memory contention model.
+//
+// The paper stops at traffic ratios and notes that "the time penalty to
+// access shared memory due to contention must also be analyzed ... a
+// queueing model for this purpose is proposed in [Tick's thesis]".
+// This module provides that missing piece: a fixed-point M/D/1-style
+// model of PEs sharing one bus.
+//
+// Each running PE issues one data reference per cycle; a fraction
+// `traffic_ratio` of reference-words appears on the bus (measured by
+// the cache simulation), and the bus serves one word in
+// `service_cycles` cycles (interleaved memory => < 1 effective cycle).
+// PEs stall while their bus requests queue, which lowers their issue
+// rate, which lowers bus load — the model iterates this feedback to a
+// fixed point.
+#pragma once
+
+#include "support/common.h"
+
+namespace rapwam {
+
+struct BusParams {
+  /// Effective bus+memory service time per word, in PE cycles. A
+  /// fast bus with n-way interleaved memory pipelines transfers:
+  /// values < 1 model the "multiple or overlapped busses and
+  /// interleaved memories" of the paper's §3.3.
+  double service_cycles = 0.5;
+};
+
+struct BusEstimate {
+  double utilization = 0;     ///< fraction of bus cycles busy (rho)
+  double pe_efficiency = 0;   ///< achieved / ideal issue rate of one PE
+  double aggregate_speedup = 0;  ///< pes * pe_efficiency
+  int iterations = 0;         ///< fixed-point iterations used
+};
+
+/// Solves the contention fixed point for `pes` processors each
+/// generating `traffic_ratio` bus words per reference.
+/// Throws on non-physical inputs (negative ratios or service times).
+BusEstimate bus_contention(unsigned pes, double traffic_ratio, const BusParams& p);
+
+}  // namespace rapwam

@@ -1,0 +1,24 @@
+#include "cache/sweep.h"
+
+namespace rapwam {
+
+std::vector<SweepResult> run_sweep(ThreadPool& pool,
+                                   const std::vector<SweepPoint>& points) {
+  std::vector<std::future<TrafficStats>> futs;
+  futs.reserve(points.size());
+  for (const SweepPoint& p : points) {
+    futs.push_back(pool.submit([p]() {
+      MultiCacheSim sim(p.cfg, p.num_pes);
+      sim.replay(*p.trace);
+      return sim.stats();
+    }));
+  }
+  std::vector<SweepResult> out;
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.push_back(SweepResult{points[i], futs[i].get()});
+  }
+  return out;
+}
+
+}  // namespace rapwam

@@ -1,0 +1,30 @@
+// Parallel parameter sweeps over cache configurations: replays one or
+// more traces through many (protocol × size × policy) points using a
+// host thread pool. This is the harness behind Figure 4.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cache/multisim.h"
+#include "support/thread_pool.h"
+
+namespace rapwam {
+
+struct SweepPoint {
+  CacheConfig cfg;
+  unsigned num_pes = 1;
+  const std::vector<u64>* trace = nullptr;  ///< packed refs, global order
+  int label = 0;                            ///< caller-defined id
+};
+
+struct SweepResult {
+  SweepPoint point;
+  TrafficStats stats;
+};
+
+/// Runs every point (each an independent cache simulation) on `pool`.
+/// Results are returned in input order.
+std::vector<SweepResult> run_sweep(ThreadPool& pool, const std::vector<SweepPoint>& points);
+
+}  // namespace rapwam

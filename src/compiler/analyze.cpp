@@ -1,0 +1,130 @@
+#include "compiler/analyze.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rapwam {
+
+namespace {
+
+struct Occur {
+  std::set<int> chunks;
+  int first_order = -1;
+  int occurrences = 0;
+};
+
+void scan(const Term* t, int chunk, int& order, std::unordered_map<const Term*, Occur>& occ) {
+  if (t->is_var()) {
+    Occur& o = occ[t];
+    o.chunks.insert(chunk);
+    o.occurrences++;
+    if (o.first_order < 0) o.first_order = order++;
+    return;
+  }
+  for (const Term* a : t->args) scan(a, chunk, order, occ);
+}
+
+}  // namespace
+
+ClauseInfo analyze_clause(const Term* head, const std::vector<NGoal>& body) {
+  std::unordered_map<const Term*, Occur> occ;
+  int order = 0;
+  int chunk = 0;
+
+  if (head) {
+    for (const Term* a : head->args) scan(a, chunk, order, occ);
+  }
+
+  int call_count = 0;           // call-like goals (a parcall counts once;
+                                // a sequentialized one counts per goal)
+  bool cut_after_call = false;
+  bool any_cut = false;
+  bool has_parcall = false;
+  bool goal_after_call = false;
+
+  int calls_seen = 0;
+  for (const NGoal& g : body) {
+    if (calls_seen > 0) goal_after_call = true;
+    switch (g.kind) {
+      case NGoal::Kind::Cut:
+        any_cut = true;
+        if (calls_seen > 0) cut_after_call = true;
+        break;
+      case NGoal::Kind::Builtin:
+        for (const Term* a : g.args) scan(a, chunk, order, occ);
+        break;
+      case NGoal::Kind::Call:
+        for (const Term* a : g.args) scan(a, chunk, order, occ);
+        ++chunk;
+        ++call_count;
+        ++calls_seen;
+        break;
+      case NGoal::Kind::Parcall:
+        if (g.sequentialized) {
+          for (const NGoal& pg : g.pgoals) {
+            for (const Term* a : pg.args) scan(a, chunk, order, occ);
+            ++chunk;
+            ++call_count;
+            ++calls_seen;
+          }
+        } else {
+          has_parcall = true;
+          for (const CondCheck& c : g.conds) {
+            scan(c.a, chunk, order, occ);
+            if (c.b) scan(c.b, chunk, order, occ);
+          }
+          if (g.conds.empty()) {
+            // Unconditional parcall: only the parallel path exists, all
+            // goal arguments are loaded before any goal runs, so the
+            // whole parcall is one chunk.
+            for (const NGoal& pg : g.pgoals)
+              for (const Term* a : pg.args) scan(a, chunk, order, occ);
+          } else {
+            // A sequential fallback path exists; variables shared
+            // between parallel goals must survive the calls on that
+            // path, so treat each goal as its own chunk.
+            for (const NGoal& pg : g.pgoals) {
+              for (const Term* a : pg.args) scan(a, chunk, order, occ);
+              ++chunk;
+            }
+          }
+          ++chunk;
+          ++call_count;
+          ++calls_seen;
+        }
+        break;
+    }
+  }
+
+  ClauseInfo info;
+  info.has_cut = any_cut;
+
+  // Permanent variables, Y slots in first-occurrence order.
+  std::vector<std::pair<int, const Term*>> perms;
+  for (auto& [v, o] : occ) {
+    VarClass vc;
+    vc.occurrences = o.occurrences;
+    vc.permanent = o.chunks.size() >= 2;
+    info.vars.emplace(v, vc);
+    if (vc.permanent) perms.emplace_back(o.first_order, v);
+  }
+  std::sort(perms.begin(), perms.end());
+  int y = 0;
+  for (auto& [ord, v] : perms) {
+    (void)ord;
+    info.vars[v].y = y++;
+  }
+  info.num_y = y;
+
+  if (cut_after_call) info.cut_y = info.num_y++;
+  // Clauses with parcalls keep the active parcall frame pointer in the
+  // environment: the first parallel goal runs inline and may leave the
+  // worker's PF register pointing at a nested frame.
+  if (has_parcall) info.pf_y = info.num_y++;
+
+  info.needs_env = info.num_y > 0 || call_count >= 2 || has_parcall ||
+                   (call_count >= 1 && goal_after_call) || cut_after_call;
+  return info;
+}
+
+}  // namespace rapwam

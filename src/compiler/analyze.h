@@ -1,0 +1,34 @@
+// Clause-level variable analysis.
+//
+// Classifies variables as temporary (X registers) or permanent
+// (Y slots in the environment) using the classic chunk criterion: a
+// chunk is the head plus inline goals up to and including one call-like
+// goal (user call or parcall); a variable occurring in more than one
+// chunk is permanent. Also decides whether the clause needs an
+// environment and how cut is implemented (neck cut vs get_level/cut).
+#pragma once
+
+#include <unordered_map>
+
+#include "compiler/normalize.h"
+
+namespace rapwam {
+
+struct VarClass {
+  bool permanent = false;
+  int y = -1;           ///< Y slot when permanent
+  int occurrences = 0;  ///< total occurrences in the clause (1 == void)
+};
+
+struct ClauseInfo {
+  std::unordered_map<const Term*, VarClass> vars;
+  int num_y = 0;        ///< permanent slots incl. cut/parcall slots
+  bool needs_env = false;
+  int cut_y = -1;       ///< Y slot holding the clause-entry B, or -1
+  int pf_y = -1;        ///< Y slot holding the current parcall frame, or -1
+  bool has_cut = false;
+};
+
+ClauseInfo analyze_clause(const Term* head, const std::vector<NGoal>& body);
+
+}  // namespace rapwam

@@ -1,0 +1,75 @@
+// Code store: the loaded parallel-WAM program.
+//
+// Holds the flat instruction array, the procedure table (predicate ->
+// entry address), switch tables for first-argument indexing, and the
+// reserved prelude addresses the engine jumps to (fail / end-of-goal).
+// Also provides a disassembler for tests and debugging.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/instr.h"
+#include "prolog/term.h"
+
+namespace rapwam {
+
+/// Reserved addresses, emitted by the CodeStore constructor.
+inline constexpr i32 kFailAddr = 0;          ///< FailAlways
+inline constexpr i32 kEndGoalAddr = 1;       ///< EndGoal (CP of stolen goals)
+inline constexpr i32 kEndLocalGoalAddr = 2;  ///< EndLocalGoal (CP of local goals)
+
+struct Proc {
+  PredId pred;
+  i32 entry = -1;  ///< -1 until compiled; calls to -1 fail at link check
+};
+
+class CodeStore {
+ public:
+  explicit CodeStore(Interner& atoms);
+
+  i32 emit(const Instr& ins) {
+    code_.push_back(ins);
+    return static_cast<i32>(code_.size()) - 1;
+  }
+  Instr& at(i32 addr) { return code_[static_cast<std::size_t>(addr)]; }
+  const Instr& at(i32 addr) const { return code_[static_cast<std::size_t>(addr)]; }
+  i32 size() const { return static_cast<i32>(code_.size()); }
+
+  /// Index of the proc entry for `p`, creating an unresolved one if new.
+  i32 proc_index(PredId p);
+  /// Lookup without creating; -1 if the predicate has no proc entry.
+  i32 find_proc(PredId p) const {
+    auto it = proc_ids_.find(p);
+    return it == proc_ids_.end() ? -1 : it->second;
+  }
+  Proc& proc(i32 idx) { return procs_[static_cast<std::size_t>(idx)]; }
+  const Proc& proc(i32 idx) const { return procs_[static_cast<std::size_t>(idx)]; }
+  std::size_t proc_count() const { return procs_.size(); }
+
+  /// Switch table support: keys are tagged constants (see const_key).
+  i32 new_switch_table();
+  void switch_add(i32 table, u64 key, i32 addr);
+  i32 switch_lookup(i32 table, u64 key) const;  ///< kFailAddr on miss
+
+  /// Key encodings shared by compiler and engine.
+  static u64 const_key_atom(u32 atom_id) { return (u64(atom_id) << 1) | 1; }
+  static u64 const_key_int(i64 v) { return u64(v) << 1; }
+  static u64 struct_key(u32 functor, u32 arity) { return (u64(functor) << 16) | arity; }
+
+  /// Throws if any referenced predicate was never compiled.
+  void link_check() const;
+
+  Interner& atoms() const { return atoms_; }
+  std::string disassemble(i32 from, i32 to) const;
+  std::string disassemble_all() const { return disassemble(0, size()); }
+
+ private:
+  Interner& atoms_;
+  std::vector<Instr> code_;
+  std::vector<Proc> procs_;
+  std::unordered_map<PredId, i32, PredIdHash> proc_ids_;
+  std::vector<std::unordered_map<u64, i32>> tables_;
+};
+
+}  // namespace rapwam

@@ -1,0 +1,229 @@
+#include "compiler/normalize.h"
+
+#include <algorithm>
+
+namespace rapwam {
+
+namespace {
+
+class Normalizer {
+ public:
+  Normalizer(Program& prog, bool strip_cge) : prog_(prog), strip_(strip_cge) {
+    TermStore& st = prog.terms();
+    Interner& a = st.atoms();
+    comma_ = a.intern(",");
+    semi_ = a.intern(";");
+    arrow_ = a.intern("->");
+    amp_ = a.intern("&");
+    bar_ = a.intern("|");
+    naf_ = a.intern("\\+");
+    cut_ = a.intern("!");
+    true_ = a.intern("true");
+    ground_ = a.intern("ground");
+    indep_ = a.intern("indep");
+  }
+
+  NormalizedProgram run() {
+    NormalizedProgram out;
+    // predicates() grows while we lift auxiliaries; index loop on purpose.
+    for (std::size_t i = 0; i < prog_.predicates().size(); ++i) {
+      PredId p = prog_.predicates()[i];
+      std::vector<NClause> ncs;
+      for (const Clause& c : prog_.clauses_of(p)) {
+        NClause nc;
+        nc.head = c.head;
+        if (c.body) flatten(c.body, nc.body);
+        ncs.push_back(std::move(nc));
+      }
+      out.order.push_back(p);
+      out.preds.emplace(p, std::move(ncs));
+    }
+    return out;
+  }
+
+ private:
+  Program& prog_;
+  bool strip_;
+  u32 comma_, semi_, arrow_, amp_, bar_, naf_, cut_, true_, ground_, indep_;
+
+  bool is_op(const Term* t, u32 name, u32 arity) const {
+    return t->is_struct() && t->name == name && t->arity() == arity;
+  }
+
+  void flatten(const Term* g, std::vector<NGoal>& out) {
+    if (g->is_var()) fail("variable goal requires call/1");
+    if (g->is_int()) fail("integer cannot be called as a goal");
+    if (g->is_atom()) {
+      if (g->name == true_) return;
+      if (g->name == cut_) {
+        NGoal n;
+        n.kind = NGoal::Kind::Cut;
+        out.push_back(std::move(n));
+        return;
+      }
+      out.push_back(plain_goal(g));
+      return;
+    }
+    if (is_op(g, comma_, 2)) {
+      flatten(g->args[0], out);
+      flatten(g->args[1], out);
+      return;
+    }
+    if (is_op(g, semi_, 2) || is_op(g, naf_, 1)) {
+      out.push_back(lift(g));
+      return;
+    }
+    if (is_op(g, arrow_, 2)) {
+      // A bare if-then (no else) behaves like (A -> B ; fail).
+      const Term* ite =
+          prog_.terms().mk_struct(semi_, {g, prog_.terms().mk_atom("fail")});
+      out.push_back(lift(ite));
+      return;
+    }
+    if (is_op(g, amp_, 2)) {
+      out.push_back(make_parcall({}, g));
+      return;
+    }
+    if (is_op(g, bar_, 2)) {
+      std::vector<CondCheck> conds;
+      parse_conds(g->args[0], conds);
+      out.push_back(make_parcall(std::move(conds), g->args[1]));
+      return;
+    }
+    out.push_back(plain_goal(g));
+  }
+
+  /// A goal that is a plain predicate call or inline builtin.
+  NGoal plain_goal(const Term* g) {
+    NGoal n;
+    n.args.assign(g->args.begin(), g->args.end());
+    u32 arity = static_cast<u32>(g->arity());
+    BuiltinId bid;
+    if (lookup_builtin(prog_.atoms().name(g->name), arity, bid)) {
+      n.kind = NGoal::Kind::Builtin;
+      n.bid = bid;
+      return n;
+    }
+    n.kind = NGoal::Kind::Call;
+    n.pred = PredId{g->name, arity};
+    return n;
+  }
+
+  void parse_conds(const Term* c, std::vector<CondCheck>& out) {
+    if (c->is_atom() && c->name == true_) return;
+    if (is_op(c, comma_, 2)) {
+      parse_conds(c->args[0], out);
+      parse_conds(c->args[1], out);
+      return;
+    }
+    if (is_op(c, ground_, 1)) {
+      out.push_back(CondCheck{false, c->args[0], nullptr});
+      return;
+    }
+    if (is_op(c, indep_, 2)) {
+      out.push_back(CondCheck{true, c->args[0], c->args[1]});
+      return;
+    }
+    fail("CGE condition must be a conjunction of ground/1, indep/2, true: " +
+         prog_.terms().to_string(c));
+  }
+
+  NGoal make_parcall(std::vector<CondCheck> conds, const Term* goals) {
+    std::vector<const Term*> flat;
+    collect_amp(goals, flat);
+    NGoal n;
+    n.kind = NGoal::Kind::Parcall;
+    n.conds = std::move(conds);
+    for (const Term* g : flat) n.pgoals.push_back(normal_par_goal(g));
+    if (strip_) {
+      // Plain-WAM baseline: the un-annotated program. The code
+      // generator emits the goals as an ordinary sequential
+      // conjunction; checks and parcall machinery disappear.
+      n.conds.clear();
+      n.sequentialized = true;
+    }
+    return n;
+  }
+
+  void collect_amp(const Term* t, std::vector<const Term*>& out) {
+    if (is_op(t, amp_, 2)) {
+      collect_amp(t->args[0], out);
+      collect_amp(t->args[1], out);
+      return;
+    }
+    out.push_back(t);
+  }
+
+  /// A parallel goal must be a user predicate call; anything else
+  /// (builtin, control construct) is lifted into an auxiliary predicate.
+  NGoal normal_par_goal(const Term* g) {
+    bool needs_lift = true;
+    if ((g->is_atom() || g->is_struct())) {
+      BuiltinId bid;
+      bool is_builtin =
+          lookup_builtin(prog_.atoms().name(g->name), static_cast<u32>(g->arity()), bid);
+      bool is_control = is_op(g, comma_, 2) || is_op(g, semi_, 2) || is_op(g, arrow_, 2) ||
+                        is_op(g, amp_, 2) || is_op(g, bar_, 2) || is_op(g, naf_, 1) ||
+                        (g->is_atom() && (g->name == cut_ || g->name == true_));
+      needs_lift = is_builtin || is_control;
+    } else {
+      fail("parallel goal must be callable: " + prog_.terms().to_string(g));
+    }
+    if (needs_lift) return lift(g);
+    NGoal n;
+    n.kind = NGoal::Kind::Call;
+    n.pred = PredId{g->name, static_cast<u32>(g->arity())};
+    n.args.assign(g->args.begin(), g->args.end());
+    return n;
+  }
+
+  /// Lifts goal `g` into a fresh predicate over g's variables and
+  /// returns the call to it. Handles ;, ->, \+ and generic goals.
+  NGoal lift(const Term* g) {
+    TermStore& st = prog_.terms();
+    std::vector<const Term*> vars;
+    TermStore::collect_vars(g, vars);
+    std::string name = prog_.fresh_name("$aux");
+    auto mk_head = [&]() -> const Term* {
+      if (vars.empty()) return st.mk_atom(name);
+      return st.mk_struct(name, std::vector<const Term*>(vars));
+    };
+    const Term* head = mk_head();
+
+    if (is_op(g, semi_, 2) && is_op(g->args[0], arrow_, 2)) {
+      // (C -> T ; E):   aux :- C, !, T.    aux :- E.
+      const Term* c = g->args[0]->args[0];
+      const Term* t = g->args[0]->args[1];
+      const Term* e = g->args[1];
+      const Term* bang = st.mk_atom("!");
+      prog_.add_clause(head, st.mk_struct(comma_, {c, st.mk_struct(comma_, {bang, t})}));
+      prog_.add_clause(head, e);
+    } else if (is_op(g, semi_, 2)) {
+      prog_.add_clause(head, g->args[0]);
+      prog_.add_clause(head, g->args[1]);
+    } else if (is_op(g, naf_, 1)) {
+      // \+ G:   aux :- G, !, fail.   aux.
+      const Term* bang = st.mk_atom("!");
+      const Term* f = st.mk_atom("fail");
+      prog_.add_clause(head,
+                       st.mk_struct(comma_, {g->args[0], st.mk_struct(comma_, {bang, f})}));
+      prog_.add_clause(head, nullptr);
+    } else {
+      prog_.add_clause(head, g);
+    }
+
+    NGoal n;
+    n.kind = NGoal::Kind::Call;
+    n.pred = PredId{st.atoms().intern(name), static_cast<u32>(vars.size())};
+    n.args = vars;
+    return n;
+  }
+};
+
+}  // namespace
+
+NormalizedProgram normalize(Program& prog, bool strip_cge) {
+  return Normalizer(prog, strip_cge).run();
+}
+
+}  // namespace rapwam

@@ -1,0 +1,60 @@
+// Source normalisation.
+//
+// Turns parsed clause bodies into flat goal sequences the code
+// generator consumes directly:
+//   * `,`-conjunctions are flattened,
+//   * `;`, `->` and `\+` are lifted into fresh auxiliary predicates
+//     (cut inside a lifted disjunction is local to it, as in classic
+//     DEC-10-style compilers),
+//   * `&`-conjunctions and `(Cond | Goals)` CGEs become Parcall goals
+//     with their run-time condition checks (ground/indep/true),
+//   * inline predicates are recognised as Builtin goals.
+//
+// With `strip_cge` set, Parcalls degrade to their sequential goal
+// sequence: that is the plain-WAM baseline the paper compares against.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/instr.h"
+#include "prolog/program.h"
+
+namespace rapwam {
+
+struct CondCheck {
+  bool indep = false;       ///< false => ground(a), true => indep(a, b)
+  const Term* a = nullptr;
+  const Term* b = nullptr;  ///< indep only
+};
+
+struct NGoal {
+  enum class Kind : u8 { Call, Builtin, Cut, Parcall };
+  Kind kind = Kind::Call;
+  // Call / parallel goals:
+  PredId pred{};
+  std::vector<const Term*> args;
+  // Builtin:
+  BuiltinId bid = BuiltinId::True;
+  // Parcall:
+  std::vector<CondCheck> conds;
+  std::vector<NGoal> pgoals;  ///< each Kind::Call
+  /// strip_cge mode: run pgoals sequentially (plain-WAM baseline).
+  bool sequentialized = false;
+};
+
+struct NClause {
+  const Term* head = nullptr;
+  std::vector<NGoal> body;
+};
+
+struct NormalizedProgram {
+  std::vector<PredId> order;
+  std::unordered_map<PredId, std::vector<NClause>, PredIdHash> preds;
+};
+
+/// Normalises every predicate of `prog` (auxiliary predicates created
+/// during lifting are appended to `prog` and normalised too).
+NormalizedProgram normalize(Program& prog, bool strip_cge);
+
+}  // namespace rapwam

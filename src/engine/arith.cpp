@@ -1,0 +1,96 @@
+// Integer arithmetic evaluation for is/2 and the comparison builtins.
+// 56-bit signed integers; expressions are heap terms built from
+// +, -, *, //, /, mod, rem, min, max, abs, <<, >>, /\, \/ and unary -.
+#include "engine/machine.h"
+
+namespace rapwam {
+
+std::optional<i64> Machine::eval_arith(Worker& w, u64 cell) {
+  u64 d = deref(w, cell);
+  switch (cell_tag(d)) {
+    case Tag::Int:
+      return int_val(d);
+    case Tag::Ref:
+      fail("arithmetic: expression is not sufficiently instantiated");
+    case Tag::Con:
+      return std::nullopt;  // atoms are not arithmetic
+    case Tag::Str: {
+      u64 p = cell_val(d);
+      u64 f = rd(w, p, ObjClass::HeapTerm);
+      const std::string& name = prog_.atoms().name(fun_name(f));
+      u32 n = fun_arity(f);
+      if (n == 1) {
+        auto a = eval_arith(w, rd(w, p + 1, ObjClass::HeapTerm));
+        if (!a) return std::nullopt;
+        if (name == "-") return -*a;
+        if (name == "+") return *a;
+        if (name == "abs") return *a < 0 ? -*a : *a;
+        return std::nullopt;
+      }
+      if (n == 2) {
+        auto a = eval_arith(w, rd(w, p + 1, ObjClass::HeapTerm));
+        auto b = eval_arith(w, rd(w, p + 2, ObjClass::HeapTerm));
+        if (!a || !b) return std::nullopt;
+        if (name == "+") return *a + *b;
+        if (name == "-") return *a - *b;
+        if (name == "*") return *a * *b;
+        if (name == "//" || name == "/") {
+          if (*b == 0) fail("arithmetic: division by zero");
+          return *a / *b;
+        }
+        if (name == "mod") {
+          if (*b == 0) fail("arithmetic: division by zero");
+          i64 m = *a % *b;
+          if (m != 0 && ((m < 0) != (*b < 0))) m += *b;  // ISO mod sign
+          return m;
+        }
+        if (name == "rem") {
+          if (*b == 0) fail("arithmetic: division by zero");
+          return *a % *b;
+        }
+        if (name == "min") return *a < *b ? *a : *b;
+        if (name == "max") return *a > *b ? *a : *b;
+        if (name == "<<") return *a << *b;
+        if (name == ">>") return *a >> *b;
+        if (name == "/\\") return *a & *b;
+        if (name == "\\/") return *a | *b;
+        return std::nullopt;
+      }
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+i64 Machine::math_apply(MathFn fn, i64 a, i64 b) {
+  switch (fn) {
+    case MathFn::Add: return a + b;
+    case MathFn::Sub: return a - b;
+    case MathFn::Mul: return a * b;
+    case MathFn::Div:
+      if (b == 0) fail("arithmetic: division by zero");
+      return a / b;
+    case MathFn::Mod: {
+      if (b == 0) fail("arithmetic: division by zero");
+      i64 m = a % b;
+      if (m != 0 && ((m < 0) != (b < 0))) m += b;  // ISO mod sign
+      return m;
+    }
+    case MathFn::Rem:
+      if (b == 0) fail("arithmetic: division by zero");
+      return a % b;
+    case MathFn::Min: return a < b ? a : b;
+    case MathFn::Max: return a > b ? a : b;
+    case MathFn::And: return a & b;
+    case MathFn::Or: return a | b;
+    case MathFn::Shl: return a << b;
+    case MathFn::Shr: return a >> b;
+    case MathFn::Neg: return -a;
+    case MathFn::Abs: return a < 0 ? -a : a;
+  }
+  RW_CHECK(false, "bad math fn");
+  return 0;
+}
+
+}  // namespace rapwam

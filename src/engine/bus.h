@@ -1,0 +1,58 @@
+// Simulated data memory with reference instrumentation.
+//
+// Every read/write goes through MemBus, which tags the reference with
+// the issuing PE, the Table-1 object class and the busy flag, updates
+// the aggregate counters and forwards to an optional TraceSink.
+// `peek`/`poke` bypass instrumentation (used for post-run inspection
+// and pre-run initialisation only — never from instruction execution).
+#pragma once
+
+#include <vector>
+
+#include "engine/cell.h"
+#include "engine/layout.h"
+#include "trace/tracebuf.h"
+
+namespace rapwam {
+
+class MemBus {
+ public:
+  explicit MemBus(const Layout& layout)
+      : layout_(layout), mem_(layout.total_words(), 0) {}
+
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+
+  u64 read(u8 pe, u64 addr, ObjClass cls, bool busy) {
+    note(pe, addr, cls, false, busy);
+    return mem_[addr];
+  }
+  void write(u8 pe, u64 addr, u64 cell, ObjClass cls, bool busy) {
+    note(pe, addr, cls, true, busy);
+    mem_[addr] = cell;
+  }
+
+  u64 peek(u64 addr) const { return mem_[addr]; }
+  void poke(u64 addr, u64 cell) { mem_[addr] = cell; }
+
+  const RefCounts& counts() const { return counts_; }
+  const Layout& layout() const { return layout_; }
+
+ private:
+  void note(u8 pe, u64 addr, ObjClass cls, bool write, bool busy) {
+    MemRef r;
+    r.addr = addr;
+    r.pe = pe;
+    r.cls = cls;
+    r.write = write;
+    r.busy = busy;
+    counts_.add(r);
+    if (sink_) sink_->on_ref(r);
+  }
+
+  const Layout& layout_;
+  std::vector<u64> mem_;
+  RefCounts counts_;
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace rapwam

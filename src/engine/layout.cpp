@@ -1,0 +1,45 @@
+#include "engine/layout.h"
+
+namespace rapwam {
+
+Layout::Layout(unsigned num_pes, const AreaSizes& sizes)
+    : num_pes_(num_pes), sizes_(sizes) {
+  RW_CHECK(num_pes >= 1 && num_pes <= 64, "PE count must be in [1,64]");
+  u64 off = 0;
+  auto set = [&](Area a, u64 sz) {
+    offset_[static_cast<std::size_t>(a)] = off;
+    off += sz;
+  };
+  set(Area::Heap, sizes.heap);
+  set(Area::Local, sizes.local);
+  set(Area::Control, sizes.control);
+  set(Area::Trail, sizes.trail);
+  set(Area::Pdl, sizes.pdl);
+  set(Area::GoalStack, sizes.goal);
+  set(Area::MsgBuffer, sizes.msg);
+}
+
+u64 Layout::size_of(Area area) const {
+  switch (area) {
+    case Area::Heap: return sizes_.heap;
+    case Area::Local: return sizes_.local;
+    case Area::Control: return sizes_.control;
+    case Area::Trail: return sizes_.trail;
+    case Area::Pdl: return sizes_.pdl;
+    case Area::GoalStack: return sizes_.goal;
+    case Area::MsgBuffer: return sizes_.msg;
+    case Area::kCount: break;
+  }
+  RW_CHECK(false, "bad area");
+  return 0;
+}
+
+Area Layout::area_of(u64 addr) const {
+  u64 off = addr % block_size();
+  for (std::size_t a = kAreaCount; a-- > 0;) {
+    if (off >= offset_[a]) return static_cast<Area>(a);
+  }
+  return Area::Heap;
+}
+
+}  // namespace rapwam

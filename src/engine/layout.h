@@ -1,0 +1,58 @@
+// Memory layout: one contiguous block of simulated words per PE
+// ("Stack Set"), with the seven RAP-WAM areas at fixed offsets inside
+// the block. Word addresses map back to (pe, area) for trace tagging
+// and for cross-PE locality checks.
+#pragma once
+
+#include <array>
+
+#include "support/common.h"
+#include "trace/areas.h"
+
+namespace rapwam {
+
+struct AreaSizes {
+  u64 heap = u64(1) << 20;
+  u64 local = u64(1) << 17;
+  u64 control = u64(1) << 17;
+  u64 trail = u64(1) << 16;
+  u64 pdl = u64(1) << 12;
+  u64 goal = u64(1) << 12;
+  u64 msg = u64(1) << 10;
+
+  u64 total() const { return heap + local + control + trail + pdl + goal + msg; }
+};
+
+class Layout {
+ public:
+  Layout(unsigned num_pes, const AreaSizes& sizes);
+
+  unsigned num_pes() const { return num_pes_; }
+  const AreaSizes& sizes() const { return sizes_; }
+  u64 block_size() const { return sizes_.total(); }
+  u64 total_words() const { return block_size() * num_pes_; }
+
+  /// Base address of `area` inside PE `pe`'s block.
+  u64 base(unsigned pe, Area area) const {
+    return u64(pe) * block_size() + offset_[static_cast<std::size_t>(area)];
+  }
+  /// One-past-the-end address of the area.
+  u64 limit(unsigned pe, Area area) const {
+    return base(pe, area) + size_of(area);
+  }
+  u64 size_of(Area area) const;
+
+  unsigned pe_of(u64 addr) const { return static_cast<unsigned>(addr / block_size()); }
+  Area area_of(u64 addr) const;
+
+  bool in_area(u64 addr, unsigned pe, Area area) const {
+    return addr >= base(pe, area) && addr < limit(pe, area);
+  }
+
+ private:
+  unsigned num_pes_;
+  AreaSizes sizes_;
+  std::array<u64, kAreaCount> offset_{};
+};
+
+}  // namespace rapwam

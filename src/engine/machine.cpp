@@ -1,0 +1,695 @@
+// Machine top level: query lifecycle, the deterministic round-robin
+// cycle loop, and the instruction dispatch.
+#include "engine/machine.h"
+
+#include <algorithm>
+
+namespace rapwam {
+
+using namespace frames;
+
+Machine::Machine(Program& prog, MachineConfig cfg) : prog_(prog), cfg_(std::move(cfg)) {
+  RW_CHECK(cfg_.num_pes >= 1 && cfg_.num_pes <= 64, "num_pes must be in [1,64]");
+  nil_atom_ = prog_.atoms().intern("[]");
+}
+
+Machine::~Machine() = default;
+
+RunResult Machine::solve(const std::string& goal_text, TraceSink* sink) {
+  return solve_term(prog_.parse_goal(goal_text), sink);
+}
+
+RunResult Machine::solve_term(const Term* goal, TraceSink* sink) {
+  // A plain predicate call runs directly: its arguments (which may be
+  // large data terms) are built straight onto PE0's heap. Control
+  // constructs and builtins are wrapped in a fresh driver predicate
+  // over their variables and compiled. Compilation is fast, so each
+  // solve recompiles.
+  Interner& atoms = prog_.atoms();
+  auto is_control = [&](const Term* t) {
+    if (t->is_atom())
+      return atoms.name(t->name) == "!" || atoms.name(t->name) == "true";
+    if (!t->is_struct()) return true;  // vars/ints are not plain calls
+    const std::string& n = atoms.name(t->name);
+    return (t->arity() == 2 && (n == "," || n == ";" || n == "->" || n == "&" ||
+                                n == "|")) ||
+           (t->arity() == 1 && n == "\\+");
+  };
+  BuiltinId bid;
+  bool plain = (goal->is_atom() || goal->is_struct()) && !is_control(goal) &&
+               !lookup_builtin(atoms.name(goal->name),
+                               static_cast<u32>(goal->arity()), bid);
+
+  const Term* entry_goal = goal;
+  if (!plain) {
+    std::vector<const Term*> vars;
+    TermStore::collect_vars(goal, vars);
+    TermStore& st = prog_.terms();
+    std::string qname = prog_.fresh_name("$q");
+    const Term* head = vars.empty()
+                           ? st.mk_atom(qname)
+                           : st.mk_struct(qname, std::vector<const Term*>(vars));
+    prog_.add_clause(head, goal);
+    entry_goal = head;
+  }
+  code_ = compile_program(prog_, cfg_.strip_cge);
+  halt_addr_ = code_->emit({Op::HaltSuccess, 0, 0, 0, 0});
+  return run_query(entry_goal, sink);
+}
+
+void Machine::reset(TraceSink* sink) {
+  layout_ = std::make_unique<Layout>(cfg_.num_pes, cfg_.sizes);
+  bus_ = std::make_unique<MemBus>(*layout_);
+  bus_->set_sink(sink);
+  workers_.assign(cfg_.num_pes, Worker{});
+  for (unsigned pe = 0; pe < cfg_.num_pes; ++pe) {
+    Worker& w = workers_[pe];
+    w.pe = static_cast<u8>(pe);
+    w.heap_base = layout_->base(pe, Area::Heap);
+    w.heap_limit = layout_->limit(pe, Area::Heap);
+    w.local_base = layout_->base(pe, Area::Local);
+    w.local_limit = layout_->limit(pe, Area::Local);
+    w.control_base = layout_->base(pe, Area::Control);
+    w.control_limit = layout_->limit(pe, Area::Control);
+    w.trail_base = layout_->base(pe, Area::Trail);
+    w.trail_limit = layout_->limit(pe, Area::Trail);
+    w.pdl_base = layout_->base(pe, Area::Pdl);
+    w.pdl_limit = layout_->limit(pe, Area::Pdl);
+    w.goal_base = layout_->base(pe, Area::GoalStack);
+    w.goal_limit = layout_->limit(pe, Area::GoalStack);
+    w.msg_base = layout_->base(pe, Area::MsgBuffer);
+    w.msg_limit = layout_->limit(pe, Area::MsgBuffer);
+    w.h = w.heap_base;
+    w.hb = w.heap_base;
+    w.tr = w.trail_base;
+    w.pdl = w.pdl_base;
+    w.ctop = w.control_base;
+    w.ctop_floor = w.control_base;
+    w.b_ltop = w.local_base;
+    w.state = Worker::St::Idle;
+  }
+  stats_ = RunStats{};
+  stats_.num_pes = cfg_.num_pes;
+  out_.str("");
+  done_ = false;
+  query_failed_exhausted_ = false;
+  query_vars_.clear();
+  solutions_.clear();
+}
+
+/// Builds the AST term `t` on worker w's heap; returns the cell.
+u64 Machine::build_term(Worker& w, const Term* t,
+                        std::unordered_map<const Term*, u64>& varmap) {
+  switch (t->tag) {
+    case TermTag::Var: {
+      auto it = varmap.find(t);
+      if (it != varmap.end()) return make_ref(it->second);
+      u64 addr = w.h;
+      heap_push(w, make_ref(addr));
+      varmap.emplace(t, addr);
+      return make_ref(addr);
+    }
+    case TermTag::Atom:
+      return make_con(t->name);
+    case TermTag::Int:
+      return make_int(t->ival);
+    case TermTag::Struct: {
+      std::vector<u64> argcells;
+      argcells.reserve(t->arity());
+      for (const Term* a : t->args) argcells.push_back(build_term(w, a, varmap));
+      if (prog_.atoms().name(t->name) == "." && t->arity() == 2) {
+        u64 addr = w.h;
+        heap_push(w, argcells[0]);
+        heap_push(w, argcells[1]);
+        return make_lis(addr);
+      }
+      u64 addr = w.h;
+      heap_push(w, make_fun(t->name, static_cast<u32>(t->arity())));
+      for (u64 c : argcells) heap_push(w, c);
+      return make_str(addr);
+    }
+  }
+  RW_CHECK(false, "bad term tag");
+  return 0;
+}
+
+std::string Machine::stringify(u64 cell, int depth) const {
+  if (depth > 200) return "...";
+  // Untraced dereference (post-run inspection).
+  while (cell_tag(cell) == Tag::Ref) {
+    u64 next = bus_->peek(cell_val(cell));
+    if (next == cell) break;
+    cell = next;
+  }
+  switch (cell_tag(cell)) {
+    case Tag::Ref:
+      return "_G" + std::to_string(cell_val(cell));
+    case Tag::Con:
+      return prog_.atoms().name(static_cast<u32>(cell_val(cell)));
+    case Tag::Int:
+      return std::to_string(int_val(cell));
+    case Tag::Lis: {
+      std::string out = "[";
+      u64 cur = cell;
+      bool first = true;
+      while (cell_tag(cur) == Tag::Lis) {
+        if (!first) out += ",";
+        out += stringify(bus_->peek(cell_val(cur)), depth + 1);
+        first = false;
+        u64 tail = bus_->peek(cell_val(cur) + 1);
+        while (cell_tag(tail) == Tag::Ref) {
+          u64 next = bus_->peek(cell_val(tail));
+          if (next == tail) break;
+          tail = next;
+        }
+        cur = tail;
+      }
+      if (!(cell_tag(cur) == Tag::Con &&
+            prog_.atoms().name(static_cast<u32>(cell_val(cur))) == "[]")) {
+        out += "|" + stringify(cur, depth + 1);
+      }
+      return out + "]";
+    }
+    case Tag::Str: {
+      u64 p = cell_val(cell);
+      u64 f = bus_->peek(p);
+      std::string out = prog_.atoms().name(fun_name(f)) + "(";
+      for (u32 i = 1; i <= fun_arity(f); ++i) {
+        if (i > 1) out += ",";
+        out += stringify(bus_->peek(p + i), depth + 1);
+      }
+      return out + ")";
+    }
+    default:
+      return "?raw";
+  }
+}
+
+RunResult Machine::run_query(const Term* goal, TraceSink* sink) {
+  reset(sink);
+  Worker& w0 = workers_[0];
+  w0.state = Worker::St::Running;  // build refs count as busy work
+
+  // Build the argument terms on PE0's heap and load the A registers.
+  std::unordered_map<const Term*, u64> varmap;
+  std::vector<const Term*> vars;
+  TermStore::collect_vars(goal, vars);
+  for (std::size_t i = 0; i < goal->arity(); ++i)
+    w0.x[i + 1] = build_term(w0, goal->args[i], varmap);
+  for (const Term* v : vars) {
+    const std::string& n = prog_.atoms().name(v->name);
+    if (n != "_") query_vars_.emplace_back(n, varmap.at(v));
+  }
+
+  PredId pred{goal->name, static_cast<u32>(goal->arity())};
+  i32 pi = code_->find_proc(pred);
+  if (pi < 0 || code_->proc(pi).entry < 0)
+    fail("unknown predicate in query: " + prog_.atoms().name(pred.name) + "/" +
+         std::to_string(pred.arity));
+  w0.p = code_->proc(pi).entry;
+  w0.cp = halt_addr_;
+  w0.b0 = 0;
+  ++stats_.calls;  // the top-level call itself is one inference
+
+  while (!done_) {
+    ++stats_.cycles;
+    if (stats_.cycles > cfg_.max_cycles)
+      fail("cycle watchdog exceeded (" + std::to_string(cfg_.max_cycles) + ")");
+    for (Worker& w : workers_) {
+      step(w);
+      if (done_) break;
+    }
+  }
+
+  RunResult res;
+  res.solutions = solutions_;
+  res.success = !solutions_.empty();
+  res.stats = stats_;
+  res.stats.refs = bus_->counts();
+  res.stats.solutions = solutions_.size();
+  res.output = out_.str();
+  for (const Worker& w : workers_) record_high_water(w);
+  res.stats.high_water = stats_.high_water;
+  return res;
+}
+
+void Machine::record_high_water(const Worker& w) {
+  auto upd = [&](Area a, u64 used) {
+    auto& hw = stats_.high_water[static_cast<std::size_t>(a)];
+    hw = std::max(hw, used);
+  };
+  upd(Area::Heap, w.hw_heap);
+  upd(Area::Local, w.hw_local);
+  upd(Area::Control, w.hw_control);
+  upd(Area::Trail, w.hw_trail);
+}
+
+void Machine::step(Worker& w) {
+  switch (w.state) {
+    case Worker::St::Halted:
+      return;
+    case Worker::St::Running:
+      exec(w);
+      return;
+    case Worker::St::Waiting:
+      ++stats_.wait_polls;
+      exec_pwait(w);
+      return;
+    case Worker::St::Idle:
+      try_steal(w);
+      return;
+  }
+}
+
+void Machine::exec(Worker& w) {
+  const Instr ins = code_->at(w.p);
+  const i32 here = w.p;
+  ++w.p;
+  ++stats_.instructions;
+
+  auto fail_if = [&](bool bad) {
+    if (bad) backtrack(w);
+  };
+  auto env_y = [&](i32 y) { return w.e + kEnvY + static_cast<u64>(y); };
+
+  switch (ins.op) {
+    case Op::Call: {
+      const Proc& pr = code_->proc(ins.a);
+      w.cp = w.p;
+      w.b0 = w.b;
+      w.p = pr.entry;
+      ++stats_.calls;
+      return;
+    }
+    case Op::Execute: {
+      const Proc& pr = code_->proc(ins.a);
+      w.b0 = w.b;
+      w.p = pr.entry;
+      ++stats_.calls;
+      return;
+    }
+    case Op::Proceed:
+      w.p = w.cp;
+      return;
+    case Op::Allocate:
+      push_env(w, ins.a);
+      return;
+    case Op::Deallocate:
+      pop_env(w);
+      return;
+    case Op::Jump:
+      w.p = ins.a;
+      return;
+    case Op::HaltSuccess: {
+      Solution sol;
+      for (auto& [name, addr] : query_vars_)
+        sol.bindings.emplace_back(name, stringify(bus_->peek(addr)));
+      solutions_.push_back(std::move(sol));
+      if (solutions_.size() >= cfg_.max_solutions) {
+        done_ = true;
+        w.state = Worker::St::Halted;
+      } else {
+        backtrack(w);  // search for the next solution
+      }
+      return;
+    }
+    case Op::EndGoal:
+      end_goal(w);
+      return;
+    case Op::EndLocalGoal:
+      end_local_goal(w);
+      return;
+    case Op::FailAlways:
+      backtrack(w);
+      return;
+    case Op::TryMeElse:
+      push_choice(w, ins.b, ins.a);
+      return;
+    case Op::RetryMeElse:
+      wr(w, w.b + kCpBP, make_raw(static_cast<u64>(ins.a)), ObjClass::ChoicePoint);
+      return;
+    case Op::TrustMe:
+      pop_choice(w);
+      return;
+    case Op::Try:
+      push_choice(w, ins.b, w.p);  // alternative: the following retry/trust
+      w.p = ins.a;
+      return;
+    case Op::Retry:
+      wr(w, w.b + kCpBP, make_raw(static_cast<u64>(w.p)), ObjClass::ChoicePoint);
+      w.p = ins.a;
+      return;
+    case Op::Trust:
+      pop_choice(w);
+      w.p = ins.a;
+      return;
+    case Op::SwitchOnTerm: {
+      u64 d = deref(w, w.x[1]);
+      i32 target;
+      switch (cell_tag(d)) {
+        case Tag::Ref: target = ins.a; break;
+        case Tag::Con:
+        case Tag::Int: target = ins.b; break;
+        case Tag::Lis: target = ins.c; break;
+        case Tag::Str: target = static_cast<i32>(ins.imm); break;
+        default: target = kFailAddr; break;
+      }
+      if (target == kFailAddr) { backtrack(w); return; }
+      w.p = target;
+      return;
+    }
+    case Op::SwitchOnConst: {
+      u64 d = deref(w, w.x[1]);
+      u64 key = cell_tag(d) == Tag::Con
+                    ? CodeStore::const_key_atom(static_cast<u32>(cell_val(d)))
+                    : CodeStore::const_key_int(int_val(d));
+      i32 target = code_->switch_lookup(ins.a, key);
+      if (target == kFailAddr) target = ins.b;
+      if (target == kFailAddr) { backtrack(w); return; }
+      w.p = target;
+      return;
+    }
+    case Op::SwitchOnStruct: {
+      u64 d = deref(w, w.x[1]);
+      u64 f = rd(w, cell_val(d), ObjClass::HeapTerm);
+      i32 target = code_->switch_lookup(
+          ins.a, CodeStore::struct_key(fun_name(f), fun_arity(f)));
+      if (target == kFailAddr) target = ins.b;
+      if (target == kFailAddr) { backtrack(w); return; }
+      w.p = target;
+      return;
+    }
+    case Op::GetLevel:
+      wr(w, env_y(ins.a), make_raw(w.b0), ObjClass::EnvPermVar);
+      return;
+    case Op::Cut: {
+      u64 v = rd(w, env_y(ins.a), ObjClass::EnvPermVar);
+      do_cut(w, cell_val(v));
+      return;
+    }
+    case Op::NeckCut:
+      do_cut(w, w.b0);
+      return;
+
+    case Op::GetVariableX:
+      w.x[static_cast<std::size_t>(ins.a)] = w.x[static_cast<std::size_t>(ins.b)];
+      return;
+    case Op::GetVariableY:
+      wr(w, env_y(ins.a), w.x[static_cast<std::size_t>(ins.b)], ObjClass::EnvPermVar);
+      return;
+    case Op::GetValueX:
+      fail_if(!unify(w, w.x[static_cast<std::size_t>(ins.a)],
+                     w.x[static_cast<std::size_t>(ins.b)]));
+      return;
+    case Op::GetValueY: {
+      u64 v = rd(w, env_y(ins.a), ObjClass::EnvPermVar);
+      fail_if(!unify(w, v, w.x[static_cast<std::size_t>(ins.b)]));
+      return;
+    }
+    case Op::GetConstant: {
+      u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
+      if (cell_tag(d) == Tag::Ref) bind(w, d, make_con(static_cast<u32>(ins.a)));
+      else fail_if(d != make_con(static_cast<u32>(ins.a)));
+      return;
+    }
+    case Op::GetInteger: {
+      u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
+      if (cell_tag(d) == Tag::Ref) bind(w, d, make_int(ins.imm));
+      else fail_if(d != make_int(ins.imm));
+      return;
+    }
+    case Op::GetNil: {
+      u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
+      u64 nil = make_con(nil_atom_);
+      if (cell_tag(d) == Tag::Ref) bind(w, d, nil);
+      else fail_if(d != nil);
+      return;
+    }
+    case Op::GetStructure: {
+      u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
+      if (cell_tag(d) == Tag::Ref) {
+        u64 addr = w.h;
+        heap_push(w, make_fun(static_cast<u32>(ins.a), static_cast<u32>(ins.c)));
+        bind(w, d, make_str(addr));
+        w.write_mode = true;
+      } else if (cell_tag(d) == Tag::Str) {
+        u64 f = rd(w, cell_val(d), ObjClass::HeapTerm);
+        if (f != make_fun(static_cast<u32>(ins.a), static_cast<u32>(ins.c))) {
+          backtrack(w);
+          return;
+        }
+        w.s = cell_val(d) + 1;
+        w.write_mode = false;
+      } else {
+        backtrack(w);
+      }
+      return;
+    }
+    case Op::GetList: {
+      u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
+      if (cell_tag(d) == Tag::Ref) {
+        bind(w, d, make_lis(w.h));
+        w.write_mode = true;
+      } else if (cell_tag(d) == Tag::Lis) {
+        w.s = cell_val(d);
+        w.write_mode = false;
+      } else {
+        backtrack(w);
+      }
+      return;
+    }
+
+    case Op::PutVariableX: {
+      u64 addr = w.h;
+      heap_push(w, make_ref(addr));
+      w.x[static_cast<std::size_t>(ins.a)] = make_ref(addr);
+      w.x[static_cast<std::size_t>(ins.b)] = make_ref(addr);
+      return;
+    }
+    case Op::PutVariableY: {
+      u64 addr = env_y(ins.a);
+      wr(w, addr, make_ref(addr), ObjClass::EnvPermVar);
+      w.x[static_cast<std::size_t>(ins.b)] = make_ref(addr);
+      return;
+    }
+    case Op::PutValueX:
+      w.x[static_cast<std::size_t>(ins.b)] = w.x[static_cast<std::size_t>(ins.a)];
+      return;
+    case Op::PutValueY:
+      w.x[static_cast<std::size_t>(ins.b)] = rd(w, env_y(ins.a), ObjClass::EnvPermVar);
+      return;
+    case Op::PutUnsafeValue: {
+      u64 v = deref(w, rd(w, env_y(ins.a), ObjClass::EnvPermVar));
+      if (cell_tag(v) == Tag::Ref) {
+        u64 addr = cell_val(v);
+        u64 ny = cell_val(rd(w, w.e + kEnvNY, ObjClass::EnvControl));
+        if (addr >= w.e && addr < w.e + env_size(ny)) {
+          // Globalise: the environment is about to be discarded.
+          u64 ha = w.h;
+          heap_push(w, make_ref(ha));
+          bind(w, v, make_ref(ha));
+          v = make_ref(ha);
+        }
+      }
+      w.x[static_cast<std::size_t>(ins.b)] = v;
+      return;
+    }
+    case Op::PutConstant:
+      w.x[static_cast<std::size_t>(ins.b)] = make_con(static_cast<u32>(ins.a));
+      return;
+    case Op::PutInteger:
+      w.x[static_cast<std::size_t>(ins.b)] = make_int(ins.imm);
+      return;
+    case Op::PutNil:
+      w.x[static_cast<std::size_t>(ins.b)] = make_con(nil_atom_);
+      return;
+    case Op::PutStructure: {
+      u64 addr = w.h;
+      heap_push(w, make_fun(static_cast<u32>(ins.a), static_cast<u32>(ins.c)));
+      w.x[static_cast<std::size_t>(ins.b)] = make_str(addr);
+      w.write_mode = true;
+      return;
+    }
+    case Op::PutList:
+      w.x[static_cast<std::size_t>(ins.b)] = make_lis(w.h);
+      w.write_mode = true;
+      return;
+
+    case Op::UnifyVariableX:
+      if (w.write_mode) {
+        u64 addr = w.h;
+        heap_push(w, make_ref(addr));
+        w.x[static_cast<std::size_t>(ins.a)] = make_ref(addr);
+      } else {
+        w.x[static_cast<std::size_t>(ins.a)] = rd(w, w.s++, ObjClass::HeapTerm);
+      }
+      return;
+    case Op::UnifyVariableY:
+      if (w.write_mode) {
+        u64 addr = w.h;
+        heap_push(w, make_ref(addr));
+        wr(w, env_y(ins.a), make_ref(addr), ObjClass::EnvPermVar);
+      } else {
+        wr(w, env_y(ins.a), rd(w, w.s++, ObjClass::HeapTerm), ObjClass::EnvPermVar);
+      }
+      return;
+    case Op::UnifyValueX:
+      if (w.write_mode) heap_push(w, w.x[static_cast<std::size_t>(ins.a)]);
+      else fail_if(!unify(w, w.x[static_cast<std::size_t>(ins.a)],
+                          rd(w, w.s++, ObjClass::HeapTerm)));
+      return;
+    case Op::UnifyValueY: {
+      u64 v = rd(w, env_y(ins.a), ObjClass::EnvPermVar);
+      if (w.write_mode) heap_push(w, v);
+      else fail_if(!unify(w, v, rd(w, w.s++, ObjClass::HeapTerm)));
+      return;
+    }
+    case Op::UnifyLocalValueX: {
+      if (!w.write_mode) {
+        fail_if(!unify(w, w.x[static_cast<std::size_t>(ins.a)],
+                       rd(w, w.s++, ObjClass::HeapTerm)));
+        return;
+      }
+      u64 v = deref(w, w.x[static_cast<std::size_t>(ins.a)]);
+      if (cell_tag(v) == Tag::Ref &&
+          layout_->area_of(cell_val(v)) != Area::Heap) {
+        // Unbound stack variable: globalise before placing in a heap term.
+        u64 ha = w.h;
+        heap_push(w, make_ref(ha));
+        bind(w, v, make_ref(ha));
+        w.x[static_cast<std::size_t>(ins.a)] = make_ref(ha);
+      } else {
+        heap_push(w, v);
+        w.x[static_cast<std::size_t>(ins.a)] = v;
+      }
+      return;
+    }
+    case Op::UnifyLocalValueY: {
+      u64 raw = rd(w, env_y(ins.a), ObjClass::EnvPermVar);
+      if (!w.write_mode) {
+        fail_if(!unify(w, raw, rd(w, w.s++, ObjClass::HeapTerm)));
+        return;
+      }
+      u64 v = deref(w, raw);
+      if (cell_tag(v) == Tag::Ref &&
+          layout_->area_of(cell_val(v)) != Area::Heap) {
+        u64 ha = w.h;
+        heap_push(w, make_ref(ha));
+        bind(w, v, make_ref(ha));
+      } else {
+        heap_push(w, v);
+      }
+      return;
+    }
+    case Op::UnifyConstant: {
+      u64 c = make_con(static_cast<u32>(ins.a));
+      if (w.write_mode) { heap_push(w, c); return; }
+      u64 d = deref(w, rd(w, w.s++, ObjClass::HeapTerm));
+      if (cell_tag(d) == Tag::Ref) bind(w, d, c);
+      else fail_if(d != c);
+      return;
+    }
+    case Op::UnifyInteger: {
+      u64 c = make_int(ins.imm);
+      if (w.write_mode) { heap_push(w, c); return; }
+      u64 d = deref(w, rd(w, w.s++, ObjClass::HeapTerm));
+      if (cell_tag(d) == Tag::Ref) bind(w, d, c);
+      else fail_if(d != c);
+      return;
+    }
+    case Op::UnifyNil: {
+      u64 c = make_con(nil_atom_);
+      if (w.write_mode) { heap_push(w, c); return; }
+      u64 d = deref(w, rd(w, w.s++, ObjClass::HeapTerm));
+      if (cell_tag(d) == Tag::Ref) bind(w, d, c);
+      else fail_if(d != c);
+      return;
+    }
+    case Op::UnifyVoid:
+      if (w.write_mode) {
+        for (i32 i = 0; i < ins.a; ++i) {
+          u64 addr = w.h;
+          heap_push(w, make_ref(addr));
+        }
+      } else {
+        w.s += static_cast<u64>(ins.a);
+      }
+      return;
+
+    case Op::MathLoad: {
+      u64 v = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
+      if (cell_tag(v) == Tag::Int) {
+        w.x[static_cast<std::size_t>(ins.a)] = v;
+        return;
+      }
+      if (cell_tag(v) == Tag::Ref)
+        fail("arithmetic: expression is not sufficiently instantiated");
+      if (cell_tag(v) == Tag::Str) {
+        // Meta-arithmetic: the variable is bound to an expression term
+        // (e.g. E = 1+2, X is E). Evaluate it the interpreted way.
+        auto r = eval_arith(w, v);
+        if (r) {
+          w.x[static_cast<std::size_t>(ins.a)] = make_int(*r);
+          return;
+        }
+      }
+      backtrack(w);  // atoms / non-arithmetic compounds are not numbers
+      return;
+    }
+    case Op::MathRR: {
+      i64 a = int_val(w.x[static_cast<std::size_t>(ins.c)]);
+      i64 b = int_val(w.x[static_cast<std::size_t>(ins.imm)]);
+      w.x[static_cast<std::size_t>(ins.b)] =
+          make_int(math_apply(static_cast<MathFn>(ins.a), a, b));
+      return;
+    }
+    case Op::MathRI: {
+      i64 a = int_val(w.x[static_cast<std::size_t>(ins.c)]);
+      w.x[static_cast<std::size_t>(ins.b)] =
+          make_int(math_apply(static_cast<MathFn>(ins.a), a, ins.imm));
+      return;
+    }
+    case Op::MathCmp: {
+      i64 a = int_val(w.x[static_cast<std::size_t>(ins.b)]);
+      i64 b = int_val(w.x[static_cast<std::size_t>(ins.c)]);
+      bool ok;
+      switch (static_cast<CmpFn>(ins.a)) {
+        case CmpFn::Lt: ok = a < b; break;
+        case CmpFn::Gt: ok = a > b; break;
+        case CmpFn::Le: ok = a <= b; break;
+        case CmpFn::Ge: ok = a >= b; break;
+        case CmpFn::Eq: ok = a == b; break;
+        default: ok = a != b; break;
+      }
+      if (!ok) backtrack(w);
+      return;
+    }
+    case Op::Builtin: {
+      BResult r = exec_builtin(w, static_cast<BuiltinId>(ins.a), ins.b);
+      if (r == BResult::False) backtrack(w);
+      return;
+    }
+
+    case Op::CheckGround:
+      if (!ground_cell(w, w.x[static_cast<std::size_t>(ins.a)])) w.p = ins.b;
+      return;
+    case Op::CheckIndep:
+      if (!indep_cells(w, w.x[static_cast<std::size_t>(ins.a)],
+                       w.x[static_cast<std::size_t>(ins.c)]))
+        w.p = ins.b;
+      return;
+    case Op::PFrame:
+      exec_pframe(w, ins.a, ins.b, static_cast<u64>(ins.imm));
+      return;
+    case Op::PGoal:
+      exec_pgoal(w, ins.a, ins.b, ins.c);
+      return;
+    case Op::PWait:
+      w.p = here;  // pwait re-executes until the parcall completes
+      exec_pwait(w);
+      return;
+  }
+  RW_CHECK(false, "unhandled opcode");
+}
+
+}  // namespace rapwam

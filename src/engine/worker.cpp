@@ -1,0 +1,266 @@
+// Memory helpers, stack-frame management, dereferencing, binding,
+// trailing, backtracking and cut for one worker.
+#include "engine/machine.h"
+
+#include <algorithm>
+
+namespace rapwam {
+
+using namespace frames;
+
+u64 Machine::rd(Worker& w, u64 addr, ObjClass cls) {
+  return bus_->read(w.pe, addr, cls, w.busy());
+}
+
+void Machine::wr(Worker& w, u64 addr, u64 cell, ObjClass cls) {
+  bus_->write(w.pe, addr, cell, cls, w.busy());
+}
+
+u64 Machine::heap_push(Worker& w, u64 cell) {
+  if (w.h >= w.heap_limit) fail("heap overflow on PE " + std::to_string(w.pe));
+  wr(w, w.h, cell, ObjClass::HeapTerm);
+  w.hw_heap = std::max(w.hw_heap, w.h + 1 - w.heap_base);
+  return w.h++;
+}
+
+/// The next free word on the local stack: above the current
+/// environment, the newest parcall frame and the newest choice point's
+/// saved top, whichever is highest. Reads the frame size words, as a
+/// real implementation would.
+u64 Machine::local_top(Worker& w) {
+  u64 top = w.local_base;
+  if (w.e != 0) {
+    u64 ny = cell_val(rd(w, w.e + kEnvNY, ObjClass::EnvControl));
+    top = std::max(top, w.e + env_size(ny));
+  }
+  if (w.pf != 0 && layout_->in_area(w.pf, w.pe, Area::Local)) {
+    u64 ns = cell_val(rd(w, w.pf + kPfNSlots, ObjClass::ParcallLocal));
+    top = std::max(top, w.pf + pf_size(ns));
+  }
+  if (w.b != 0) top = std::max(top, w.b_ltop);
+  return top;
+}
+
+void Machine::push_env(Worker& w, int ny) {
+  u64 base = local_top(w);
+  if (base + env_size(static_cast<u64>(ny)) > w.local_limit)
+    fail("local stack overflow on PE " + std::to_string(w.pe));
+  wr(w, base + kEnvCE, make_raw(w.e), ObjClass::EnvControl);
+  wr(w, base + kEnvCP, make_raw(static_cast<u64>(w.cp)), ObjClass::EnvControl);
+  wr(w, base + kEnvNY, make_raw(static_cast<u64>(ny)), ObjClass::EnvControl);
+  for (int i = 0; i < ny; ++i) {
+    u64 a = base + kEnvY + static_cast<u64>(i);
+    wr(w, a, make_ref(a), ObjClass::EnvPermVar);  // fresh unbound
+  }
+  w.e = base;
+  w.hw_local = std::max(w.hw_local, base + env_size(static_cast<u64>(ny)) - w.local_base);
+}
+
+void Machine::pop_env(Worker& w) {
+  RW_CHECK(w.e != 0, "deallocate without environment");
+  w.cp = static_cast<i32>(cell_val(rd(w, w.e + kEnvCP, ObjClass::EnvControl)));
+  w.e = cell_val(rd(w, w.e + kEnvCE, ObjClass::EnvControl));
+}
+
+void Machine::push_choice(Worker& w, int nargs, i32 bp) {
+  u64 base = w.ctop;
+  if (base + cp_size(static_cast<u64>(nargs)) > w.control_limit)
+    fail("control stack overflow on PE " + std::to_string(w.pe));
+  u64 ltop = local_top(w);
+  wr(w, base + kCpNArgs, make_raw(static_cast<u64>(nargs)), ObjClass::ChoicePoint);
+  wr(w, base + kCpCE, make_raw(w.e), ObjClass::ChoicePoint);
+  wr(w, base + kCpCP, make_raw(static_cast<u64>(w.cp)), ObjClass::ChoicePoint);
+  wr(w, base + kCpB, make_raw(w.b), ObjClass::ChoicePoint);
+  wr(w, base + kCpBP, make_raw(static_cast<u64>(bp)), ObjClass::ChoicePoint);
+  wr(w, base + kCpTR, make_raw(w.tr), ObjClass::ChoicePoint);
+  wr(w, base + kCpH, make_raw(w.h), ObjClass::ChoicePoint);
+  wr(w, base + kCpLTop, make_raw(ltop), ObjClass::ChoicePoint);
+  wr(w, base + kCpPF, make_raw(w.pf), ObjClass::ChoicePoint);
+  wr(w, base + kCpB0, make_raw(w.b0), ObjClass::ChoicePoint);
+  wr(w, base + kCpLgf, make_raw(w.lgf), ObjClass::ChoicePoint);
+  for (int i = 0; i < nargs; ++i)
+    wr(w, base + kCpArgs + static_cast<u64>(i), w.x[static_cast<std::size_t>(i) + 1],
+       ObjClass::ChoicePoint);
+  w.b = base;
+  w.b_ltop = ltop;
+  w.hb = w.h;
+  w.ctop = base + cp_size(static_cast<u64>(nargs));
+  w.hw_control = std::max(w.hw_control, w.ctop - w.control_base);
+}
+
+/// Restores machine state from the newest choice point (w.b). Does not
+/// pop it; the caller decides (retry vs trust).
+void Machine::restore_choice(Worker& w) {
+  u64 b = w.b;
+  RW_CHECK(b != 0, "restore without choice point");
+  u64 nargs = cell_val(rd(w, b + kCpNArgs, ObjClass::ChoicePoint));
+  for (u64 i = 0; i < nargs; ++i)
+    w.x[i + 1] = rd(w, b + kCpArgs + i, ObjClass::ChoicePoint);
+  w.e = cell_val(rd(w, b + kCpCE, ObjClass::ChoicePoint));
+  w.cp = static_cast<i32>(cell_val(rd(w, b + kCpCP, ObjClass::ChoicePoint)));
+  u64 tr = cell_val(rd(w, b + kCpTR, ObjClass::ChoicePoint));
+  untrail_to(w, tr);
+  w.h = cell_val(rd(w, b + kCpH, ObjClass::ChoicePoint));
+  w.hb = w.h;
+  w.b_ltop = cell_val(rd(w, b + kCpLTop, ObjClass::ChoicePoint));
+  w.b0 = cell_val(rd(w, b + kCpB0, ObjClass::ChoicePoint));
+  w.lgf = cell_val(rd(w, b + kCpLgf, ObjClass::ChoicePoint));
+  // PF was already reconciled by backtrack() before calling restore.
+}
+
+void Machine::pop_choice(Worker& w) {
+  u64 b = w.b;
+  RW_CHECK(b != 0, "pop without choice point");
+  w.ctop = std::max(b, w.ctop_floor);
+  w.b = cell_val(rd(w, b + kCpB, ObjClass::ChoicePoint));
+  if (w.b != 0) {
+    w.hb = cell_val(rd(w, w.b + kCpH, ObjClass::ChoicePoint));
+    w.b_ltop = cell_val(rd(w, w.b + kCpLTop, ObjClass::ChoicePoint));
+  } else {
+    w.hb = (w.marker != 0)
+               ? cell_val(rd(w, w.marker + kMkSavedH, ObjClass::Marker))
+               : w.heap_base;
+    w.b_ltop = w.local_base;
+  }
+}
+
+u64 Machine::deref(Worker& w, u64 cell) {
+  while (cell_tag(cell) == Tag::Ref) {
+    u64 addr = cell_val(cell);
+    ObjClass cls = layout_->area_of(addr) == Area::Heap ? ObjClass::HeapTerm
+                                                        : ObjClass::EnvPermVar;
+    u64 next = rd(w, addr, cls);
+    if (next == cell) return cell;  // unbound
+    cell = next;
+  }
+  return cell;
+}
+
+void Machine::trail(Worker& w, u64 addr) {
+  bool foreign = layout_->pe_of(addr) != w.pe;
+  bool needed;
+  if (foreign) {
+    needed = true;
+  } else if (layout_->in_area(addr, w.pe, Area::Heap)) {
+    needed = addr < w.hb;
+  } else {
+    // Stack variable: must survive until the newest choice point.
+    needed = (w.b != 0 && addr < w.b_ltop);
+  }
+  if (!needed) return;
+  if (w.tr >= w.trail_limit) fail("trail overflow on PE " + std::to_string(w.pe));
+  wr(w, w.tr++, make_raw(addr), ObjClass::TrailEntry);
+  w.hw_trail = std::max(w.hw_trail, w.tr - w.trail_base);
+}
+
+void Machine::untrail_to(Worker& w, u64 target_tr) {
+  while (w.tr > target_tr) {
+    --w.tr;
+    u64 entry = rd(w, w.tr, ObjClass::TrailEntry);
+    if (entry == 0) continue;  // tombstoned by a remote section unwind
+    u64 addr = cell_val(entry);
+    ObjClass cls = layout_->area_of(addr) == Area::Heap ? ObjClass::HeapTerm
+                                                        : ObjClass::EnvPermVar;
+    wr(w, addr, make_ref(addr), cls);
+  }
+}
+
+/// Resets the bindings recorded in [from,to) of PE `payer`'s trail and
+/// tombstones the entries (used when a non-top stack section is
+/// unwound; the trail cannot shrink yet).
+void Machine::untrail_range(Worker& w, u8 payer, u64 from, u64 to) {
+  Worker& owner = workers_[payer];
+  for (u64 t = from; t < to; ++t) {
+    u64 entry = bus_->read(payer, t, ObjClass::TrailEntry, owner.busy());
+    if (entry == 0) continue;
+    u64 addr = cell_val(entry);
+    ObjClass cls = layout_->area_of(addr) == Area::Heap ? ObjClass::HeapTerm
+                                                        : ObjClass::EnvPermVar;
+    bus_->write(payer, addr, make_ref(addr), cls, owner.busy());
+    bus_->write(payer, t, 0, ObjClass::TrailEntry, owner.busy());
+  }
+  (void)w;
+}
+
+void Machine::bind(Worker& w, u64 ref_cell, u64 value) {
+  RW_CHECK(cell_tag(ref_cell) == Tag::Ref, "bind target must be a ref");
+  u64 addr = cell_val(ref_cell);
+  ObjClass cls = layout_->area_of(addr) == Area::Heap ? ObjClass::HeapTerm
+                                                      : ObjClass::EnvPermVar;
+  wr(w, addr, value, cls);
+  trail(w, addr);
+}
+
+void Machine::do_cut(Worker& w, u64 target_b) {
+  // Discard choice points newer than target_b. Completed parcall frames
+  // stay in the PF chain (their bindings remain valid); they are
+  // cancelled only when execution actually backtracks past them.
+  if (w.b <= target_b) return;
+  w.b = target_b;
+  if (w.b != 0) {
+    u64 nargs = cell_val(rd(w, w.b + kCpNArgs, ObjClass::ChoicePoint));
+    w.hb = cell_val(rd(w, w.b + kCpH, ObjClass::ChoicePoint));
+    w.b_ltop = cell_val(rd(w, w.b + kCpLTop, ObjClass::ChoicePoint));
+    reclaim_control(w, w.b + cp_size(nargs));
+  } else {
+    w.hb = (w.marker != 0)
+               ? cell_val(rd(w, w.marker + kMkSavedH, ObjClass::Marker))
+               : w.heap_base;
+    w.b_ltop = w.local_base;
+    reclaim_control(w, w.control_base);
+  }
+}
+
+/// Lowers the control-stack top to `candidate` if nothing live sits
+/// above it: active markers, local goal frames and retained sections
+/// pin the top. Without this, every cut would leak its discarded
+/// choice-point space and turn the control stack into an append-only
+/// stream, destroying its cache locality.
+void Machine::reclaim_control(Worker& w, u64 candidate) {
+  candidate = std::max(candidate, w.ctop_floor);
+  if (w.marker != 0) candidate = std::max(candidate, w.marker + kMarkerSize);
+  if (w.lgf != 0) candidate = std::max(candidate, w.lgf + kLgfSize);
+  if (candidate < w.ctop) w.ctop = candidate;
+}
+
+void Machine::backtrack(Worker& w) {
+  for (;;) {
+    u64 boundary = 0;
+    if (w.marker != 0)
+      boundary = cell_val(rd(w, w.marker + kMkSavedB, ObjClass::Marker));
+
+    if (w.b == boundary || w.b == 0) {
+      // No alternatives left in the current computation.
+      if (w.marker != 0) {
+        goal_failed(w);
+      } else {
+        // The query itself is exhausted.
+        query_failed_exhausted_ = true;
+        done_ = true;
+        w.state = Worker::St::Halted;
+      }
+      return;
+    }
+
+    // Cancel parcalls created after the choice point we revert to.
+    u64 saved_pf = cell_val(rd(w, w.b + kCpPF, ObjClass::ChoicePoint));
+    while (w.pf != saved_pf) {
+      u64 pf = w.pf;
+      RW_CHECK(pf != 0, "parcall chain does not reach choice point's frame");
+      cancel_parcall(w, pf);
+    }
+
+    restore_choice(w);
+    i32 bp = static_cast<i32>(cell_val(rd(w, w.b + kCpBP, ObjClass::ChoicePoint)));
+    if (bp == kFailAddr) {
+      // Exhausted chain guard (shouldn't happen: trust pops first).
+      pop_choice(w);
+      continue;
+    }
+    w.p = bp;
+    w.state = Worker::St::Running;
+    return;
+  }
+}
+
+}  // namespace rapwam

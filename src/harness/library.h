@@ -1,0 +1,106 @@
+// A small standard library of list and control predicates, written in
+// plain Prolog, that programs may consult alongside their own clauses.
+// Kept deliberately free of parallel annotations: callers decide where
+// parallelism pays.
+#pragma once
+
+namespace rapwam {
+
+inline const char* kPreludeSource = R"PL(
+% ---- list basics ---------------------------------------------------
+append([], L, L).
+append([X|Xs], L, [X|Ys]) :- append(Xs, L, Ys).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L), !.
+
+% Reversible: counts a list, or generates one of a given length.
+length(L, N) :- nonvar(N), !, len_make(L, N).
+length(L, N) :- len_count(L, 0, N).
+len_make([], 0) :- !.
+len_make([_|T], N) :- N > 0, N1 is N - 1, len_make(T, N1).
+len_count([], N, N).
+len_count([_|T], A, N) :- A1 is A + 1, len_count(T, A1, N).
+
+reverse(L, R) :- reverse_(L, [], R).
+reverse_([], A, A).
+reverse_([X|Xs], A, R) :- reverse_(Xs, [X|A], R).
+
+nth0(0, [X|_], X) :- !.
+nth0(N, [_|T], X) :- N > 0, N1 is N - 1, nth0(N1, T, X).
+
+nth1(N, L, X) :- N0 is N - 1, nth0(N0, L, X).
+
+last([X], X) :- !.
+last([_|T], X) :- last(T, X).
+
+% ---- arithmetic over lists ------------------------------------------
+sum_list(L, S) :- sum_list_(L, 0, S).
+sum_list_([], S, S).
+sum_list_([X|Xs], A, S) :- A1 is A + X, sum_list_(Xs, A1, S).
+
+max_list([X|Xs], M) :- max_list_(Xs, X, M).
+max_list_([], M, M).
+max_list_([X|Xs], A, M) :- A1 is max(A, X), max_list_(Xs, A1, M).
+
+min_list([X|Xs], M) :- min_list_(Xs, X, M).
+min_list_([], M, M).
+min_list_([X|Xs], A, M) :- A1 is min(A, X), min_list_(Xs, A1, M).
+
+between(L, H, L) :- L =< H.
+between(L, H, X) :- L < H, L1 is L + 1, between(L1, H, X).
+
+numlist(L, H, []) :- L > H, !.
+numlist(L, H, [L|T]) :- L1 is L + 1, numlist(L1, H, T).
+
+% ---- sorting (standard order, duplicates kept / removed) ------------
+msort(L, S) :- msort_run(L, S).
+msort_run([], []) :- !.
+msort_run([X], [X]) :- !.
+msort_run(L, S) :-
+    split_half(L, A, B),
+    msort_run(A, SA), msort_run(B, SB),
+    merge_ord(SA, SB, S).
+
+split_half(L, A, B) :- length(L, N), H is N // 2, split_at(H, L, A, B).
+split_at(0, L, [], L) :- !.
+split_at(N, [X|Xs], [X|A], B) :- N1 is N - 1, split_at(N1, Xs, A, B).
+
+merge_ord([], B, B) :- !.
+merge_ord(A, [], A) :- !.
+merge_ord([X|Xs], [Y|Ys], [X|Zs]) :- X @=< Y, !, merge_ord(Xs, [Y|Ys], Zs).
+merge_ord(Xs, [Y|Ys], [Y|Zs]) :- merge_ord(Xs, Ys, Zs).
+
+sort(L, S) :- msort(L, S0), dedup_ord(S0, S).
+dedup_ord([], []).
+dedup_ord([X], [X]) :- !.
+dedup_ord([X,Y|T], R) :- X == Y, !, dedup_ord([Y|T], R).
+dedup_ord([X|T], [X|R]) :- dedup_ord(T, R).
+
+% ---- misc ------------------------------------------------------------
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+delete([], _, []).
+delete([X|T], X, R) :- !, delete(T, X, R).
+delete([H|T], X, [H|R]) :- delete(T, X, R).
+
+maplist1(_, []).
+maplist1(G, [X|Xs]) :- G1 =.. [G, X], call(G1), maplist1(G, Xs).
+
+% AND-parallel divide and conquer over a list: applies pred/2 to each
+% element, splitting the list and running the halves in parallel.
+par_map(_, [], []).
+par_map(G, [X|Xs], [Y|Ys]) :-
+    G1 =.. [G, X, Y], call(G1), par_map_rest(G, Xs, Ys).
+par_map_rest(_, [], []).
+par_map_rest(G, L, R) :-
+    L = [_|_],
+    split_half(L, A, B),
+    (par_map(G, A, RA) & par_map(G, B, RB)),
+    append(RA, RB, R).
+)PL";
+
+}  // namespace rapwam

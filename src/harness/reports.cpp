@@ -1,0 +1,220 @@
+#include "harness/reports.h"
+
+#include <map>
+
+#include "support/stats.h"
+
+namespace rapwam {
+
+TextTable table1_report() {
+  TextTable t("Table 1: Characteristics of RAP-WAM Storage Objects");
+  t.header({"Frame type", "area", "WAM?", "lock", "locality"});
+  for (const StorageTraits& s : storage_table()) {
+    t.row({std::string(obj_class_name(s.cls)), std::string(area_name(s.area)),
+           s.in_wam ? "yes" : "no", s.locked ? "yes" : "no",
+           std::string(locality_name(s.locality))});
+  }
+  return t;
+}
+
+TextTable table2_report(const ReportOptions& opt) {
+  TextTable t("Table 2: Statistics for the Benchmarks Used (" +
+              std::to_string(opt.table2_pes) + " processors)");
+  std::vector<std::string> names = small_bench_names();
+  std::vector<std::string> hdr = {"Parameter"};
+  hdr.insert(hdr.end(), names.begin(), names.end());
+  t.header(hdr);
+
+  std::vector<std::string> instr{"Instructions executed"};
+  std::vector<std::string> refs_rap{"References (RAP-WAM)"};
+  std::vector<std::string> refs_wam{"References (WAM)"};
+  std::vector<std::string> par{"Goals actually in //"};
+  for (const std::string& n : names) {
+    BenchProgram bp = bench_program(n, opt.scale);
+    BenchRun rap = run_parallel(bp, opt.table2_pes, /*want_trace=*/false);
+    BenchRun wam = run_wam(bp, /*want_trace=*/false);
+    instr.push_back(std::to_string(rap.result.stats.instructions));
+    refs_rap.push_back(std::to_string(rap.result.stats.work_refs()));
+    refs_wam.push_back(std::to_string(wam.result.stats.work_refs()));
+    par.push_back(std::to_string(rap.result.stats.goals_stolen));
+  }
+  t.row(instr);
+  t.row(refs_rap);
+  t.row(refs_wam);
+  t.row(par);
+  return t;
+}
+
+TextTable fig2_report(const ReportOptions& opt) {
+  TextTable t("Figure 2: RAP-WAM Overheads for \"deriv\" (work as % of WAM work)");
+  t.header({"PEs", "work refs", "% of WAM work", "overhead %", "cycles", "speedup"});
+  BenchProgram bp = bench_program("deriv", opt.scale);
+  BenchRun wam = run_wam(bp, /*want_trace=*/false);
+  double wam_work = static_cast<double>(wam.result.stats.work_refs());
+  double wam_cycles = static_cast<double>(wam.result.stats.cycles);
+  for (unsigned pes : opt.fig2_pes) {
+    BenchRun rap = run_parallel(bp, pes, /*want_trace=*/false);
+    double work = static_cast<double>(rap.result.stats.work_refs());
+    double cycles = static_cast<double>(rap.result.stats.cycles);
+    t.row({std::to_string(pes), std::to_string(rap.result.stats.work_refs()),
+           fmt(100.0 * work / wam_work, 1), fmt(100.0 * (work - wam_work) / wam_work, 1),
+           std::to_string(rap.result.stats.cycles), fmt(wam_cycles / cycles, 2)});
+  }
+  return t;
+}
+
+std::vector<TextTable> fig4_report(const ReportOptions& opt) {
+  // Collect traces: benchmark x PE count.
+  std::vector<std::string> names = small_bench_names();
+  std::map<std::pair<std::string, unsigned>, std::shared_ptr<TraceBuffer>> traces;
+  for (const std::string& n : names) {
+    BenchProgram bp = bench_program(n, opt.scale);
+    for (unsigned pes : opt.fig4_pes) {
+      BenchRun r = run_parallel(bp, pes, /*want_trace=*/true);
+      traces[{n, pes}] = r.trace;
+    }
+  }
+
+  const Protocol protos[] = {Protocol::WriteInBroadcast, Protocol::Hybrid,
+                             Protocol::WriteThrough};
+
+  // Build the sweep: one simulation per (protocol, size, pes, bench).
+  ThreadPool pool(opt.pool_threads);
+  std::vector<SweepPoint> points;
+  for (Protocol p : protos) {
+    for (u32 sz : opt.fig4_sizes) {
+      for (unsigned pes : opt.fig4_pes) {
+        for (const std::string& n : names) {
+          SweepPoint sp;
+          sp.cfg.protocol = p;
+          sp.cfg.size_words = sz;
+          sp.cfg.line_words = 4;
+          sp.cfg.write_allocate = paper_write_allocate(p, sz);
+          sp.num_pes = pes;
+          sp.trace = &traces.at({n, pes})->packed();
+          points.push_back(sp);
+        }
+      }
+    }
+  }
+  std::vector<SweepResult> results = run_sweep(pool, points);
+
+  // Average traffic ratio over benchmarks for each (proto, size, pes).
+  std::map<std::tuple<Protocol, u32, unsigned>, std::vector<double>> ratios;
+  for (const SweepResult& r : results) {
+    ratios[{r.point.cfg.protocol, r.point.cfg.size_words, r.point.num_pes}].push_back(
+        r.stats.traffic_ratio());
+  }
+
+  std::vector<TextTable> out;
+  for (Protocol p : protos) {
+    TextTable t("Figure 4: Traffic of Coherency Schemes — " + protocol_name(p) +
+                " (mean traffic ratio over benchmarks; 4-word lines)");
+    std::vector<std::string> hdr = {"cache size (words)"};
+    for (unsigned pes : opt.fig4_pes) hdr.push_back(std::to_string(pes) + "PE");
+    t.header(hdr);
+    for (u32 sz : opt.fig4_sizes) {
+      std::vector<std::string> row = {std::to_string(sz)};
+      for (unsigned pes : opt.fig4_pes)
+        row.push_back(fmt(mean(ratios.at({p, sz, pes})), 4));
+      t.row(row);
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+namespace {
+double sequential_traffic_ratio(const std::vector<u64>& trace, u32 size_words) {
+  CacheConfig cfg;
+  cfg.protocol = Protocol::Copyback;
+  cfg.size_words = size_words;
+  cfg.line_words = 4;
+  cfg.write_allocate = true;
+  MultiCacheSim sim(cfg, 1);
+  sim.replay(trace);
+  return sim.stats().traffic_ratio();
+}
+}  // namespace
+
+TextTable table3_report(const ReportOptions& opt) {
+  TextTable t("Table 3: Fit of Small Benchmarks to Large Benchmarks "
+              "(sequential copyback traffic ratios)");
+  std::vector<std::string> hdr = {"cache size (words)", "Etr", "sigma_tr"};
+  const std::vector<std::string> smalls = {"deriv", "tak", "qsort"};
+  for (const std::string& s : smalls) hdr.push_back("(tr-Etr)/sigma " + s);
+  t.header(hdr);
+
+  // Large suite traces (sequential, exhaustive for queens).
+  std::vector<std::vector<u64>> large_traces;
+  for (const BenchProgram& bp : large_bench_suite(opt.scale)) {
+    BenchRun r = run_wam(bp, /*want_trace=*/true, /*max_solutions=*/100000);
+    large_traces.push_back(r.trace->packed());
+  }
+  // Small benchmark traces (sequential).
+  std::vector<std::vector<u64>> small_traces;
+  for (const std::string& n : smalls) {
+    BenchRun r = run_wam(bench_program(n, opt.scale), /*want_trace=*/true);
+    small_traces.push_back(r.trace->packed());
+  }
+
+  for (u32 sz : opt.table3_sizes) {
+    std::vector<double> large_tr;
+    for (const auto& tr : large_traces)
+      large_tr.push_back(sequential_traffic_ratio(tr, sz));
+    double e = mean(large_tr);
+    double s = stddev(large_tr);
+    std::vector<std::string> row = {std::to_string(sz), fmt(e, 4), fmt(s, 4)};
+    for (const auto& tr : small_traces) {
+      double r = sequential_traffic_ratio(tr, sz);
+      row.push_back(s > 0 ? fmt((r - e) / s, 2) : "n/a");
+    }
+    t.row(row);
+  }
+  return t;
+}
+
+TextTable mlips_report(const ReportOptions& opt) {
+  TextTable t("Section 3.3: 2-MLIPS back-of-the-envelope, from measured numbers");
+  t.header({"quantity", "value"});
+
+  // Aggregate instruction/reference ratios over the four benchmarks.
+  double instr = 0, calls = 0, refs = 0;
+  std::shared_ptr<TraceBuffer> trace8;
+  for (const std::string& n : small_bench_names()) {
+    BenchProgram bp = bench_program(n, opt.scale);
+    BenchRun r = run_parallel(bp, 8, n == "qsort");  // one trace for capture rate
+    instr += static_cast<double>(r.result.stats.instructions);
+    calls += static_cast<double>(r.result.stats.calls);
+    refs += static_cast<double>(r.result.stats.work_refs());
+    if (r.trace) trace8 = r.trace;
+  }
+  double instr_per_li = instr / calls;
+  double refs_per_instr = refs / instr;
+
+  CacheConfig cfg;
+  cfg.protocol = Protocol::WriteInBroadcast;
+  cfg.size_words = 1024;
+  cfg.line_words = 4;
+  cfg.write_allocate = true;
+  MultiCacheSim sim(cfg, 8);
+  sim.replay(trace8->packed());
+  double traffic = sim.stats().traffic_ratio();
+
+  const double mlips = 2e6;
+  double bytes_per_li = instr_per_li * refs_per_instr * 4.0;
+  double demand = mlips * bytes_per_li;          // bytes/sec at 2 MLIPS
+  double bus = demand * traffic;                 // after cache capture
+
+  t.row({"instructions / inference (paper: ~15)", fmt(instr_per_li, 2)});
+  t.row({"references / instruction (paper: ~3)", fmt(refs_per_instr, 2)});
+  t.row({"bytes / inference (paper: ~180)", fmt(bytes_per_li, 1)});
+  t.row({"demand bandwidth @2 MLIPS (paper: 360 MB/s)",
+         fmt(demand / 1e6, 1) + " MB/s"});
+  t.row({"traffic ratio, 8PE 1024w write-in bcast (paper: <0.3)", fmt(traffic, 3)});
+  t.row({"traffic captured by caches (paper: >70%)", fmt_pct(1.0 - traffic, 1)});
+  t.row({"required bus bandwidth (paper: ~108 MB/s)", fmt(bus / 1e6, 1) + " MB/s"});
+  return t;
+}
+
+}  // namespace rapwam

@@ -1,0 +1,47 @@
+// Report generators: one function per table/figure of the paper.
+// Each returns TextTables so the bench binaries, tests and examples
+// share the exact same measurement code.
+#pragma once
+
+#include "cache/sweep.h"
+#include "harness/runner.h"
+#include "support/table.h"
+
+namespace rapwam {
+
+struct ReportOptions {
+  BenchScale scale = BenchScale::Paper;
+  unsigned table2_pes = 8;
+  std::vector<unsigned> fig2_pes = {1, 2, 4, 6, 8, 12, 16, 24, 32, 40};
+  std::vector<unsigned> fig4_pes = {1, 2, 4, 8};
+  std::vector<u32> fig4_sizes = {64, 128, 256, 512, 1024, 2048, 4096, 8192};
+  std::vector<u32> table3_sizes = {512, 1024};
+  unsigned pool_threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Table 1: characteristics of RAP-WAM storage objects (architectural;
+/// printed from the same data the emulator tags references with).
+TextTable table1_report();
+
+/// Table 2: instructions, references (RAP-WAM and WAM), goals actually
+/// executed in parallel, for the four benchmarks on `table2_pes` PEs.
+TextTable table2_report(const ReportOptions& opt);
+
+/// Figure 2: RAP-WAM work as % of WAM work, and speedup, for deriv
+/// across PE counts.
+TextTable fig2_report(const ReportOptions& opt);
+
+/// Figure 4: mean traffic ratio (over the four benchmarks) vs cache
+/// size, per PE count — one table per protocol panel
+/// (write-in broadcast, hybrid, conventional write-through).
+std::vector<TextTable> fig4_report(const ReportOptions& opt);
+
+/// Table 3: fit of the small benchmarks to the large sequential suite
+/// (copyback traffic ratios at 512/1024 words; z-scores).
+TextTable table3_report(const ReportOptions& opt);
+
+/// §3.3: the 2-MLIPS bandwidth estimate recomputed from measured
+/// instruction/reference/traffic numbers.
+TextTable mlips_report(const ReportOptions& opt);
+
+}  // namespace rapwam

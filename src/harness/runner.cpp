@@ -1,0 +1,51 @@
+#include "harness/runner.h"
+
+namespace rapwam {
+
+AreaSizes bench_area_sizes() {
+  AreaSizes s;
+  s.heap = u64(1) << 21;
+  s.local = u64(1) << 18;
+  s.control = u64(1) << 19;
+  s.trail = u64(1) << 18;
+  s.pdl = u64(1) << 13;
+  s.goal = u64(1) << 13;
+  s.msg = u64(1) << 10;
+  return s;
+}
+
+namespace {
+BenchRun run_impl(const BenchProgram& bp, unsigned pes, bool strip, bool want_trace,
+                  unsigned max_solutions) {
+  Program prog;
+  prog.consult(bp.source);
+  MachineConfig cfg;
+  cfg.num_pes = pes;
+  cfg.sizes = bench_area_sizes();
+  cfg.strip_cge = strip;
+  cfg.max_solutions = max_solutions;
+  Machine m(prog, cfg);
+  BenchRun out;
+  out.name = bp.name;
+  if (want_trace) {
+    out.trace = std::make_shared<TraceBuffer>(/*busy_only=*/true);
+    out.result = m.solve(bp.goal + ".", out.trace.get());
+  } else {
+    out.result = m.solve(bp.goal + ".");
+  }
+  if (!out.result.success)
+    fail("benchmark '" + bp.name + "' found no solution — broken program?");
+  return out;
+}
+}  // namespace
+
+BenchRun run_parallel(const BenchProgram& bp, unsigned pes, bool want_trace,
+                      unsigned max_solutions) {
+  return run_impl(bp, pes, /*strip=*/false, want_trace, max_solutions);
+}
+
+BenchRun run_wam(const BenchProgram& bp, bool want_trace, unsigned max_solutions) {
+  return run_impl(bp, 1, /*strip=*/true, want_trace, max_solutions);
+}
+
+}  // namespace rapwam

@@ -1,0 +1,30 @@
+// Benchmark execution helpers: run a program on the RAP-WAM emulator
+// (optionally collecting the busy-reference trace for cache
+// simulation) and on the sequential-WAM baseline.
+#pragma once
+
+#include <memory>
+
+#include "engine/machine.h"
+#include "harness/programs.h"
+
+namespace rapwam {
+
+struct BenchRun {
+  std::string name;
+  RunResult result;                    ///< RAP-WAM run on `pes` PEs
+  std::shared_ptr<TraceBuffer> trace;  ///< busy refs (null unless requested)
+};
+
+/// Area sizes big enough for the Paper-scale workloads.
+AreaSizes bench_area_sizes();
+
+/// Runs `bp` on `pes` PEs. `max_solutions` > 1 exhausts backtracking
+/// (used by the all-solutions large benchmarks).
+BenchRun run_parallel(const BenchProgram& bp, unsigned pes, bool want_trace,
+                      unsigned max_solutions = 1);
+
+/// Runs `bp` compiled as plain sequential WAM (annotations stripped).
+BenchRun run_wam(const BenchProgram& bp, bool want_trace, unsigned max_solutions = 1);
+
+}  // namespace rapwam

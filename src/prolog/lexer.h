@@ -1,0 +1,58 @@
+// Prolog tokenizer.
+//
+// Produces the token stream consumed by the operator-precedence reader:
+// atoms (identifier, quoted, symbolic), variables, integers,
+// punctuation, and the clause-terminating period. `%` line comments and
+// `/* */` block comments are skipped. Line/column info is kept for
+// error messages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace rapwam {
+
+enum class TokKind : u8 {
+  Atom,       // foo, 'Foo bar', +, =.., [] (empty list atom)
+  Var,        // X, _x, _
+  Int,        // 42, -… handled by parser via prefix op
+  Punct,      // ( ) [ ] { } , |
+  End,        // clause-terminating period
+  Eof,
+};
+
+struct Token {
+  TokKind kind = TokKind::Eof;
+  std::string text;   // atom/var name or punct spelling
+  i64 value = 0;      // for Int
+  int line = 0;
+  int col = 0;
+  /// True when an atom token was immediately followed by '(' with no
+  /// whitespace — i.e. it begins a compound term f(...).
+  bool functor_paren = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src);
+
+  /// Tokenizes the whole input; throws Error with line info on bad input.
+  std::vector<Token> all();
+
+ private:
+  Token next();
+  char peek(int ahead = 0) const;
+  char advance();
+  bool eof() const { return pos_ >= src_.size(); }
+  void skip_layout();
+  [[noreturn]] void err(const std::string& msg) const;
+
+  std::string src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace rapwam

@@ -1,0 +1,61 @@
+#include "prolog/ops.h"
+
+namespace rapwam {
+
+OpTable::OpTable() {
+  add_infix(":-", 1200, OpType::xfx);
+  add_prefix(":-", 1200, OpType::fx);
+  add_prefix("?-", 1200, OpType::fx);
+  add_infix(";", 1100, OpType::xfy);
+  add_infix("|", 1100, OpType::xfy);  // CGE condition separator
+  add_infix("->", 1050, OpType::xfy);
+  add_infix(",", 1000, OpType::xfy);
+  add_infix("&", 950, OpType::xfy);  // parallel conjunction
+  add_prefix("\\+", 900, OpType::fy);
+  add_infix("=", 700, OpType::xfx);
+  add_infix("\\=", 700, OpType::xfx);
+  add_infix("==", 700, OpType::xfx);
+  add_infix("\\==", 700, OpType::xfx);
+  add_infix("is", 700, OpType::xfx);
+  add_infix("=:=", 700, OpType::xfx);
+  add_infix("=\\=", 700, OpType::xfx);
+  add_infix("<", 700, OpType::xfx);
+  add_infix(">", 700, OpType::xfx);
+  add_infix("=<", 700, OpType::xfx);
+  add_infix(">=", 700, OpType::xfx);
+  add_infix("@<", 700, OpType::xfx);
+  add_infix("@>", 700, OpType::xfx);
+  add_infix("@=<", 700, OpType::xfx);
+  add_infix("@>=", 700, OpType::xfx);
+  add_infix("=..", 700, OpType::xfx);
+  add_infix("+", 500, OpType::yfx);
+  add_infix("-", 500, OpType::yfx);
+  add_infix("/\\", 500, OpType::yfx);
+  add_infix("\\/", 500, OpType::yfx);
+  add_infix("xor", 500, OpType::yfx);
+  add_infix("*", 400, OpType::yfx);
+  add_infix("/", 400, OpType::yfx);
+  add_infix("//", 400, OpType::yfx);
+  add_infix("mod", 400, OpType::yfx);
+  add_infix("rem", 400, OpType::yfx);
+  add_infix("<<", 400, OpType::yfx);
+  add_infix(">>", 400, OpType::yfx);
+  add_infix("**", 200, OpType::xfx);
+  add_infix("^", 200, OpType::xfy);
+  add_prefix("-", 200, OpType::fy);
+  add_prefix("+", 200, OpType::fy);
+}
+
+std::optional<OpDef> OpTable::infix(const std::string& name) const {
+  auto it = ops_.find(name);
+  if (it == ops_.end()) return std::nullopt;
+  return it->second.in;
+}
+
+std::optional<OpDef> OpTable::prefix(const std::string& name) const {
+  auto it = ops_.find(name);
+  if (it == ops_.end()) return std::nullopt;
+  return it->second.pre;
+}
+
+}  // namespace rapwam

@@ -1,0 +1,40 @@
+// Prolog operator table.
+//
+// Standard operator set plus the RAP-WAM annotations: `&` (parallel
+// conjunction, xfy 950) and `|` (CGE condition separator, xfy 1100).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "support/common.h"
+
+namespace rapwam {
+
+enum class OpType : u8 { xfx, xfy, yfx, fy, fx };
+
+struct OpDef {
+  int prec = 0;
+  OpType type = OpType::xfx;
+};
+
+class OpTable {
+ public:
+  OpTable();  // loads the standard table
+
+  std::optional<OpDef> infix(const std::string& name) const;
+  std::optional<OpDef> prefix(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::optional<OpDef> in;
+    std::optional<OpDef> pre;
+  };
+  std::unordered_map<std::string, Entry> ops_;
+
+  void add_infix(const std::string& n, int p, OpType t) { ops_[n].in = OpDef{p, t}; }
+  void add_prefix(const std::string& n, int p, OpType t) { ops_[n].pre = OpDef{p, t}; }
+};
+
+}  // namespace rapwam

@@ -1,0 +1,182 @@
+#include "prolog/parser.h"
+
+namespace rapwam {
+
+void Parser::err(const std::string& msg) const {
+  fail("syntax error at line " + std::to_string(cur().line) + ":" +
+       std::to_string(cur().col) + ": " + msg);
+}
+
+void Parser::expect_punct(const char* p) {
+  if (!at_punct(p)) err(std::string("expected '") + p + "'");
+  next();
+}
+
+const Term* Parser::var_node(const std::string& name) {
+  if (name == "_") return store_.mk_var("_");
+  auto it = clause_vars_.find(name);
+  if (it != clause_vars_.end()) return it->second;
+  const Term* v = store_.mk_var(name);
+  clause_vars_[name] = v;
+  return v;
+}
+
+bool Parser::starts_term() const {
+  switch (cur().kind) {
+    case TokKind::Int:
+    case TokKind::Var:
+    case TokKind::Atom:
+      return true;
+    case TokKind::Punct:
+      return cur().text == "(" || cur().text == "[" || cur().text == "{";
+    default:
+      return false;
+  }
+}
+
+std::vector<const Term*> Parser::read_args() {
+  std::vector<const Term*> args;
+  expect_punct("(");
+  for (;;) {
+    args.push_back(read(999));
+    if (at_punct(",")) {
+      next();
+      continue;
+    }
+    expect_punct(")");
+    break;
+  }
+  return args;
+}
+
+const Term* Parser::read_list() {
+  expect_punct("[");
+  std::vector<const Term*> items;
+  const Term* tail = nullptr;
+  for (;;) {
+    items.push_back(read(999));
+    if (at_punct(",")) {
+      next();
+      continue;
+    }
+    if (at_punct("|")) {
+      next();
+      tail = read(999);
+    }
+    expect_punct("]");
+    break;
+  }
+  return store_.mk_list(items, tail);
+}
+
+const Term* Parser::read_primary(int maxprec) {
+  const Token& t = cur();
+  switch (t.kind) {
+    case TokKind::Int: {
+      i64 v = t.value;
+      next();
+      return store_.mk_int(v);
+    }
+    case TokKind::Var: {
+      std::string n = t.text;
+      next();
+      return var_node(n);
+    }
+    case TokKind::Punct:
+      if (t.text == "(") {
+        next();
+        const Term* inner = read(1200);
+        expect_punct(")");
+        return inner;
+      }
+      if (t.text == "[") return read_list();
+      err("unexpected '" + t.text + "'");
+    case TokKind::Atom: {
+      std::string name = t.text;
+      bool fpar = t.functor_paren;
+      next();
+      if (fpar) {
+        std::vector<const Term*> args = read_args();
+        return store_.mk_struct(name, std::move(args));
+      }
+      // Negative integer literal.
+      if (name == "-" && cur().kind == TokKind::Int) {
+        i64 v = cur().value;
+        next();
+        return store_.mk_int(-v);
+      }
+      // Prefix operator application.
+      if (auto pre = ops_.prefix(name); pre && pre->prec <= maxprec && starts_term()) {
+        // Don't treat `op , ...` or `op )` as application (handled by
+        // starts_term), and avoid consuming an infix op as an operand:
+        // if the next atom is solely an infix operator and what follows
+        // can't start a term, fall through to plain atom.
+        int argmax = pre->type == OpType::fy ? pre->prec : pre->prec - 1;
+        const Term* arg = read(argmax);
+        return store_.mk_struct(name, {arg});
+      }
+      return store_.mk_atom(name);
+    }
+    default:
+      err("unexpected end of input");
+  }
+}
+
+const Term* Parser::read(int maxprec) {
+  const Term* left = read_primary(maxprec);
+  // Precedence of what we've built so far: primaries are 0; an infix
+  // application takes its operator's precedence. Used to reject
+  // non-associative chains like `a = b = c` (xfx).
+  int leftprec = 0;
+  for (;;) {
+    std::string opname;
+    if (cur().kind == TokKind::Atom) {
+      opname = cur().text;
+    } else if (cur().kind == TokKind::Punct && (cur().text == "," || cur().text == "|")) {
+      opname = cur().text;
+    } else {
+      break;
+    }
+    auto in = ops_.infix(opname);
+    if (!in || in->prec > maxprec) break;
+    int leftmax, rightmax;
+    switch (in->type) {
+      case OpType::xfy: leftmax = in->prec - 1; rightmax = in->prec; break;
+      case OpType::xfx: leftmax = in->prec - 1; rightmax = in->prec - 1; break;
+      case OpType::yfx: leftmax = in->prec; rightmax = in->prec - 1; break;
+      default: err("operator '" + opname + "' is not infix");
+    }
+    if (leftprec > leftmax)
+      err("operator priority clash at '" + opname + "'");
+    next();
+    const Term* right = read(rightmax);
+    left = store_.mk_struct(opname, {left, right});
+    leftprec = in->prec;
+  }
+  return left;
+}
+
+std::vector<const Term*> Parser::parse_program(std::string_view src) {
+  toks_ = Lexer(src).all();
+  idx_ = 0;
+  std::vector<const Term*> clauses;
+  while (cur().kind != TokKind::Eof) {
+    clause_vars_.clear();
+    const Term* t = read(1200);
+    if (cur().kind != TokKind::End) err("expected '.' at end of clause");
+    next();
+    clauses.push_back(t);
+  }
+  return clauses;
+}
+
+const Term* Parser::parse_term(std::string_view src) {
+  toks_ = Lexer(src).all();
+  idx_ = 0;
+  clause_vars_.clear();
+  const Term* t = read(1200);
+  if (cur().kind != TokKind::End) err("expected '.' at end of term");
+  return t;
+}
+
+}  // namespace rapwam

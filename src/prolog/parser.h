@@ -1,0 +1,57 @@
+// Operator-precedence Prolog reader.
+//
+// Parses a source string into a sequence of clause terms (one per
+// trailing period). Variables are scoped per clause: two occurrences of
+// `X` in one clause map to the same Term node; `_` is always fresh.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "prolog/lexer.h"
+#include "prolog/ops.h"
+#include "prolog/term.h"
+
+namespace rapwam {
+
+class Parser {
+ public:
+  Parser(TermStore& store, const OpTable& ops) : store_(store), ops_(ops) {}
+
+  /// Reads every clause in `src`. Throws Error on syntax problems.
+  std::vector<const Term*> parse_program(std::string_view src);
+
+  /// Reads exactly one term terminated by '.' (e.g. a query).
+  const Term* parse_term(std::string_view src);
+
+ private:
+  const Term* read(int maxprec);
+  const Term* read_primary(int maxprec);
+  const Term* read_list();
+  std::vector<const Term*> read_args();
+  const Term* var_node(const std::string& name);
+
+  const Token& cur() const { return toks_[idx_]; }
+  const Token& peek(std::size_t ahead = 1) const {
+    std::size_t i = idx_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  void next() { if (idx_ + 1 < toks_.size()) ++idx_; }
+  bool at_punct(const char* p) const {
+    return cur().kind == TokKind::Punct && cur().text == p;
+  }
+  void expect_punct(const char* p);
+  [[noreturn]] void err(const std::string& msg) const;
+
+  /// True if the current token can begin a term (used to decide whether
+  /// an atom is a prefix operator application or stands alone).
+  bool starts_term() const;
+
+  TermStore& store_;
+  const OpTable& ops_;
+  std::vector<Token> toks_;
+  std::size_t idx_ = 0;
+  std::unordered_map<std::string, const Term*> clause_vars_;
+};
+
+}  // namespace rapwam

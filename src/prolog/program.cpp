@@ -1,0 +1,44 @@
+#include "prolog/program.h"
+
+namespace rapwam {
+
+Program::Program()
+    : atoms_(std::make_unique<Interner>()),
+      store_(std::make_unique<TermStore>(*atoms_)),
+      parser_(*store_, ops_) {}
+
+PredId Program::head_pred(const Term* head) const {
+  if (head->is_atom()) return PredId{head->name, 0};
+  if (head->is_struct()) return PredId{head->name, static_cast<u32>(head->arity())};
+  fail("clause head must be an atom or compound term");
+}
+
+void Program::add_clause(const Term* head, const Term* body) {
+  PredId p = head_pred(head);
+  auto [it, fresh] = preds_.try_emplace(p);
+  if (fresh) order_.push_back(p);
+  it->second.push_back(Clause{head, body});
+}
+
+void Program::consult(std::string_view src) {
+  const u32 neck = atoms_->intern(":-");
+  for (const Term* t : parser_.parse_program(src)) {
+    if (t->is_struct() && t->name == neck && t->arity() == 2) {
+      add_clause(t->args[0], t->args[1]);
+    } else if (t->is_struct() && t->name == neck && t->arity() == 1) {
+      fail("directives are not supported: " + store_->to_string(t));
+    } else {
+      add_clause(t, nullptr);
+    }
+  }
+}
+
+const Term* Program::parse_goal(std::string_view src) { return parser_.parse_term(src); }
+
+const std::vector<Clause>& Program::clauses_of(PredId p) const {
+  auto it = preds_.find(p);
+  RW_CHECK(it != preds_.end(), "no clauses for predicate");
+  return it->second;
+}
+
+}  // namespace rapwam

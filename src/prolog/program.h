@@ -1,0 +1,69 @@
+// Program database: parsed clauses grouped by predicate, preserving
+// source order. Owns the interner, term arena and operator table that
+// all later compilation stages share.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "prolog/parser.h"
+
+namespace rapwam {
+
+struct Clause {
+  const Term* head = nullptr;
+  const Term* body = nullptr;  ///< nullptr for facts
+};
+
+class Program {
+ public:
+  Program();
+
+  /// Parses `src` and adds its clauses. `:-/1` directives are rejected
+  /// (this system has no runtime database mutation).
+  void consult(std::string_view src);
+
+  /// Parses a goal term (without `?-`), e.g. "d(x*x,x,D)."
+  const Term* parse_goal(std::string_view src);
+
+  const std::vector<PredId>& predicates() const { return order_; }
+  const std::vector<Clause>& clauses_of(PredId p) const;
+  bool defines(PredId p) const { return preds_.count(p) > 0; }
+
+  TermStore& terms() { return *store_; }
+  const TermStore& terms() const { return *store_; }
+  Interner& atoms() { return *atoms_; }
+  const OpTable& ops() const { return ops_; }
+
+  PredId pred_id(std::string_view name, u32 arity) {
+    return PredId{atoms_->intern(name), arity};
+  }
+  std::string pred_name(PredId p) const {
+    return atoms_->name(p.name) + "/" + std::to_string(p.arity);
+  }
+
+  /// Adds an already-built clause (used by the normaliser for lifted
+  /// auxiliary predicates).
+  void add_clause(const Term* head, const Term* body);
+
+  /// Program-unique generated predicate name ("$aux7", "$q3", ...).
+  /// The counter lives in the Program so repeated compilations never
+  /// collide.
+  std::string fresh_name(const char* prefix) {
+    return std::string(prefix) + std::to_string(++fresh_counter_);
+  }
+
+ private:
+  std::unique_ptr<Interner> atoms_;
+  std::unique_ptr<TermStore> store_;
+  OpTable ops_;
+  Parser parser_;
+  std::unordered_map<PredId, std::vector<Clause>, PredIdHash> preds_;
+  std::vector<PredId> order_;
+  int fresh_counter_ = 0;
+
+  PredId head_pred(const Term* head) const;
+};
+
+}  // namespace rapwam

@@ -1,0 +1,130 @@
+#include "prolog/term.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rapwam {
+
+const Term* TermStore::mk_var(std::string_view name) {
+  Term* t = alloc();
+  t->tag = TermTag::Var;
+  t->name = atoms_.intern(name);
+  return t;
+}
+
+const Term* TermStore::mk_atom(std::string_view name) { return mk_atom(atoms_.intern(name)); }
+
+const Term* TermStore::mk_atom(u32 id) {
+  Term* t = alloc();
+  t->tag = TermTag::Atom;
+  t->name = id;
+  return t;
+}
+
+const Term* TermStore::mk_int(i64 v) {
+  Term* t = alloc();
+  t->tag = TermTag::Int;
+  t->ival = v;
+  return t;
+}
+
+const Term* TermStore::mk_struct(std::string_view functor, std::vector<const Term*> args) {
+  return mk_struct(atoms_.intern(functor), std::move(args));
+}
+
+const Term* TermStore::mk_struct(u32 functor_id, std::vector<const Term*> args) {
+  RW_CHECK(!args.empty(), "struct must have at least one argument");
+  Term* t = alloc();
+  t->tag = TermTag::Struct;
+  t->name = functor_id;
+  t->args = std::move(args);
+  return t;
+}
+
+const Term* TermStore::mk_list(const std::vector<const Term*>& items, const Term* tail) {
+  const Term* acc = tail ? tail : nil();
+  for (auto it = items.rbegin(); it != items.rend(); ++it) {
+    acc = mk_struct(".", {*it, acc});
+  }
+  return acc;
+}
+
+namespace {
+void print(const TermStore& st, const Term* t, std::ostringstream& os) {
+  switch (t->tag) {
+    case TermTag::Var:
+      os << "_" << st.atoms().name(t->name);
+      return;
+    case TermTag::Atom:
+      os << st.atoms().name(t->name);
+      return;
+    case TermTag::Int:
+      os << t->ival;
+      return;
+    case TermTag::Struct: {
+      const std::string& f = st.atoms().name(t->name);
+      if (f == "." && t->arity() == 2) {
+        // List sugar.
+        os << "[";
+        const Term* cur = t;
+        bool first = true;
+        while (cur->is_struct() && cur->arity() == 2 &&
+               st.atoms().name(cur->name) == ".") {
+          if (!first) os << ",";
+          print(st, cur->args[0], os);
+          first = false;
+          cur = cur->args[1];
+        }
+        if (!(cur->is_atom() && st.atoms().name(cur->name) == "[]")) {
+          os << "|";
+          print(st, cur, os);
+        }
+        os << "]";
+        return;
+      }
+      os << f << "(";
+      for (std::size_t i = 0; i < t->arity(); ++i) {
+        if (i) os << ",";
+        print(st, t->args[i], os);
+      }
+      os << ")";
+      return;
+    }
+  }
+}
+}  // namespace
+
+std::string TermStore::to_string(const Term* t) const {
+  std::ostringstream os;
+  print(*this, t, os);
+  return os.str();
+}
+
+bool TermStore::equal(const Term* a, const Term* b) {
+  if (a == b) return true;
+  if (a->tag != b->tag) return false;
+  switch (a->tag) {
+    case TermTag::Var:
+      return false;  // distinct var nodes are distinct variables
+    case TermTag::Atom:
+      return a->name == b->name;
+    case TermTag::Int:
+      return a->ival == b->ival;
+    case TermTag::Struct:
+      if (a->name != b->name || a->arity() != b->arity()) return false;
+      for (std::size_t i = 0; i < a->arity(); ++i)
+        if (!equal(a->args[i], b->args[i])) return false;
+      return true;
+  }
+  return false;
+}
+
+void TermStore::collect_vars(const Term* t, std::vector<const Term*>& out) {
+  if (t->is_var()) {
+    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+    return;
+  }
+  for (const Term* a : t->args) collect_vars(a, out);
+}
+
+}  // namespace rapwam

@@ -1,0 +1,83 @@
+// Source-level term representation (the compiler's AST).
+//
+// Terms are immutable nodes allocated from a TermStore arena; they are
+// shared freely and never freed individually. Atom and functor names
+// are interned (ids come from the store's Interner). Lists are ordinary
+// '.'/2 structures terminated by the atom []. Variables are named nodes
+// scoped to one clause by the parser.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+#include "support/interner.h"
+
+namespace rapwam {
+
+enum class TermTag : u8 { Var, Atom, Int, Struct };
+
+struct Term {
+  TermTag tag = TermTag::Atom;
+  u32 name = 0;                    ///< atom/functor/var-name interner id
+  i64 ival = 0;                    ///< Int payload
+  std::vector<const Term*> args;   ///< Struct arguments
+
+  bool is_var() const { return tag == TermTag::Var; }
+  bool is_atom() const { return tag == TermTag::Atom; }
+  bool is_int() const { return tag == TermTag::Int; }
+  bool is_struct() const { return tag == TermTag::Struct; }
+  std::size_t arity() const { return args.size(); }
+};
+
+class TermStore {
+ public:
+  explicit TermStore(Interner& atoms) : atoms_(atoms) {}
+
+  const Term* mk_var(std::string_view name);
+  const Term* mk_atom(std::string_view name);
+  const Term* mk_atom(u32 id);
+  const Term* mk_int(i64 v);
+  const Term* mk_struct(std::string_view functor, std::vector<const Term*> args);
+  const Term* mk_struct(u32 functor_id, std::vector<const Term*> args);
+
+  /// Builds a proper list of `items`, or a partial list ending in `tail`.
+  const Term* mk_list(const std::vector<const Term*>& items, const Term* tail = nullptr);
+
+  const Term* nil() { return mk_atom("[]"); }
+
+  Interner& atoms() { return atoms_; }
+  const Interner& atoms() const { return atoms_; }
+
+  /// Canonical text form: operators not reconstructed except for list
+  /// sugar; variables print their names; quoting is not performed.
+  std::string to_string(const Term* t) const;
+
+  /// Structural equality (variables equal iff same node).
+  static bool equal(const Term* a, const Term* b);
+
+  /// Collects distinct variable nodes in first-occurrence order.
+  static void collect_vars(const Term* t, std::vector<const Term*>& out);
+
+ private:
+  Interner& atoms_;
+  std::deque<Term> pool_;
+
+  Term* alloc() { return &pool_.emplace_back(); }
+};
+
+/// Convenience: functor name id + arity pair identifying a predicate.
+struct PredId {
+  u32 name = 0;
+  u32 arity = 0;
+  bool operator==(const PredId& o) const { return name == o.name && arity == o.arity; }
+};
+
+struct PredIdHash {
+  std::size_t operator()(const PredId& p) const {
+    return std::hash<u64>()((u64(p.name) << 32) | p.arity);
+  }
+};
+
+}  // namespace rapwam

@@ -1,0 +1,39 @@
+#include "support/cli.h"
+
+#include <cstdlib>
+
+namespace rapwam {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      pos_.push_back(a);
+      continue;
+    }
+    a = a.substr(2);
+    auto eq = a.find('=');
+    if (eq != std::string::npos) {
+      flags_[a.substr(0, eq)] = a.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[a] = argv[++i];
+    } else {
+      flags_[a] = "1";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& dflt) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? dflt : it->second;
+}
+
+i64 Cli::get_int(const std::string& name, i64 dflt) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return dflt;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+}  // namespace rapwam

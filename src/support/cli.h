@@ -1,0 +1,29 @@
+// Minimal command-line flag parser for the examples and bench binaries.
+// Supports `--name value`, `--name=value` and `--flag` (boolean).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/common.h"
+
+namespace rapwam {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& dflt) const;
+  i64 get_int(const std::string& name, i64 dflt) const;
+
+  /// Non-flag positional arguments in order.
+  const std::vector<std::string>& positional() const { return pos_; }
+
+ private:
+  std::unordered_map<std::string, std::string> flags_;
+  std::vector<std::string> pos_;
+};
+
+}  // namespace rapwam

@@ -1,0 +1,38 @@
+// Basic shared definitions for the rapwam library.
+//
+// Everything in this project lives in namespace `rapwam`. This header
+// provides the error type used across modules and a couple of small
+// assertion helpers that stay active in release builds (the simulator's
+// correctness depends on internal invariants, and benches run Release).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rapwam {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Error thrown for user-visible failures: syntax errors, compile
+/// errors, engine resource exhaustion, bad CLI arguments.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
+
+/// Release-mode-checked invariant. Used for internal consistency checks
+/// whose violation would silently corrupt simulation results.
+#define RW_CHECK(cond, msg)                                              \
+  do {                                                                   \
+    if (!(cond)) ::rapwam::fail(std::string("internal error: ") + (msg)); \
+  } while (0)
+
+}  // namespace rapwam

@@ -1,0 +1,23 @@
+#include "support/interner.h"
+
+namespace rapwam {
+
+u32 Interner::intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  u32 id = static_cast<u32>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& Interner::name(u32 id) const {
+  RW_CHECK(id < names_.size(), "interner id out of range");
+  return names_[id];
+}
+
+bool Interner::contains(std::string_view s) const {
+  return ids_.find(std::string(s)) != ids_.end();
+}
+
+}  // namespace rapwam

@@ -1,0 +1,35 @@
+// String interner: maps strings to dense ids and back.
+//
+// Atom names and functor names are interned once and referred to by
+// 32-bit ids throughout the compiler and engine, so term cells stay
+// POD-sized and comparisons are integer compares.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/common.h"
+
+namespace rapwam {
+
+class Interner {
+ public:
+  /// Returns the id for `s`, creating one if unseen.
+  u32 intern(std::string_view s);
+
+  /// Returns the string for an id created by intern().
+  const std::string& name(u32 id) const;
+
+  /// True if `s` has already been interned (no side effects).
+  bool contains(std::string_view s) const;
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, u32> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace rapwam

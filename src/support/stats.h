@@ -1,0 +1,40 @@
+// Small numeric helpers shared by the reporting code: mean, standard
+// deviation, and percentage formatting.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rapwam {
+
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Sample standard deviation (n-1 denominator), 0 for fewer than two points.
+inline double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+inline std::string fmt(double v, int prec = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_pct(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", prec, 100.0 * v);
+  return buf;
+}
+
+}  // namespace rapwam

@@ -1,0 +1,54 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rapwam {
+
+void TextTable::header(std::vector<std::string> cells) { head_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> w;
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > w.size()) w.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) w[i] = std::max(w[i], cells[i].size());
+  };
+  if (!head_.empty()) widen(head_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size()) os << std::string(w[i] - cells[i].size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  if (!head_.empty()) {
+    emit(head_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < w.size(); ++i) total += w[i] + (i + 1 < w.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string TextTable::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size()) os << ",";
+    }
+    os << "\n";
+  };
+  if (!head_.empty()) emit(head_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+}  // namespace rapwam

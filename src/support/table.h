@@ -1,0 +1,31 @@
+// ASCII table renderer used by the bench binaries to print the paper's
+// tables and figure series in a stable, diff-friendly format, plus an
+// optional CSV emitter for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rapwam {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Renders with column alignment; first row is underlined if a header
+  /// was set.
+  std::string str() const;
+
+  /// Comma-separated rendering (header first) for machine consumption.
+  std::string csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> head_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rapwam

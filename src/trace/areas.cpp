@@ -1,0 +1,65 @@
+#include "trace/areas.h"
+
+namespace rapwam {
+
+const std::array<StorageTraits, kObjClassCount>& storage_table() {
+  // Table 1 of the paper, row for row.
+  static const std::array<StorageTraits, kObjClassCount> t = {{
+      {ObjClass::EnvControl, Area::Local, true, false, Locality::Local},
+      {ObjClass::EnvPermVar, Area::Local, true, false, Locality::Global},
+      {ObjClass::ChoicePoint, Area::Control, true, false, Locality::Local},
+      {ObjClass::HeapTerm, Area::Heap, true, false, Locality::Global},
+      {ObjClass::TrailEntry, Area::Trail, true, false, Locality::Local},
+      {ObjClass::PdlEntry, Area::Pdl, true, false, Locality::Local},
+      {ObjClass::ParcallLocal, Area::Local, false, false, Locality::Local},
+      {ObjClass::ParcallGlobal, Area::Local, false, false, Locality::Global},
+      {ObjClass::ParcallCount, Area::Local, false, true, Locality::Global},
+      {ObjClass::Marker, Area::Control, false, false, Locality::Local},
+      {ObjClass::GoalFrame, Area::GoalStack, false, true, Locality::Global},
+      {ObjClass::Message, Area::MsgBuffer, false, true, Locality::Global},
+  }};
+  return t;
+}
+
+const StorageTraits& traits_of(ObjClass c) {
+  return storage_table()[static_cast<std::size_t>(c)];
+}
+
+std::string_view area_name(Area a) {
+  switch (a) {
+    case Area::Heap: return "Heap";
+    case Area::Local: return "Local";
+    case Area::Control: return "Control";
+    case Area::Trail: return "Trail";
+    case Area::Pdl: return "PDL";
+    case Area::GoalStack: return "GoalStack";
+    case Area::MsgBuffer: return "MsgBuffer";
+    case Area::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view obj_class_name(ObjClass c) {
+  switch (c) {
+    case ObjClass::EnvControl: return "Envts./control";
+    case ObjClass::EnvPermVar: return "Envts./P.Vars";
+    case ObjClass::ChoicePoint: return "Choice points";
+    case ObjClass::HeapTerm: return "Heap";
+    case ObjClass::TrailEntry: return "Trail entries";
+    case ObjClass::PdlEntry: return "PDL entries";
+    case ObjClass::ParcallLocal: return "Parcall F./Local";
+    case ObjClass::ParcallGlobal: return "Parcall F./Global";
+    case ObjClass::ParcallCount: return "Parcall F./Counts";
+    case ObjClass::Marker: return "Markers";
+    case ObjClass::GoalFrame: return "Goal Frames";
+    case ObjClass::Message: return "Messages";
+    case ObjClass::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view locality_name(Locality l) {
+  return l == Locality::Local ? "Local" : "Global";
+}
+
+}  // namespace rapwam

@@ -1,0 +1,49 @@
+// Packed memory-reference record.
+//
+// The emulator emits one MemRef per data word touched. References are
+// packed into 8 bytes so multi-million-reference traces stay cheap:
+//
+//   bits  0..39  word address (1 TB of simulated words is plenty)
+//   bits 40..47  PE id
+//   bits 48..51  object class (Table 1 row)
+//   bit  52      write flag
+//   bit  53      busy flag (PE was doing useful work, not idling/waiting)
+#pragma once
+
+#include "support/common.h"
+#include "trace/areas.h"
+
+namespace rapwam {
+
+struct MemRef {
+  u64 addr = 0;
+  u8 pe = 0;
+  ObjClass cls = ObjClass::HeapTerm;
+  bool write = false;
+  bool busy = true;
+
+  u64 pack() const {
+    return (addr & 0xFFFFFFFFFFull) | (u64(pe) << 40) |
+           (u64(static_cast<u8>(cls)) << 48) | (u64(write ? 1 : 0) << 52) |
+           (u64(busy ? 1 : 0) << 53);
+  }
+
+  static MemRef unpack(u64 v) {
+    MemRef r;
+    r.addr = v & 0xFFFFFFFFFFull;
+    r.pe = static_cast<u8>((v >> 40) & 0xFF);
+    r.cls = static_cast<ObjClass>((v >> 48) & 0xF);
+    r.write = ((v >> 52) & 1) != 0;
+    r.busy = ((v >> 53) & 1) != 0;
+    return r;
+  }
+};
+
+/// Sink interface the emulator writes references into.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_ref(const MemRef& r) = 0;
+};
+
+}  // namespace rapwam

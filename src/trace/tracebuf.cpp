@@ -1,0 +1,32 @@
+#include "trace/tracebuf.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace rapwam {
+
+void save_trace(const std::vector<u64>& packed, const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                                    &std::fclose);
+  if (!f) fail("cannot open trace file for writing: " + path);
+  if (!packed.empty() &&
+      std::fwrite(packed.data(), sizeof(u64), packed.size(), f.get()) != packed.size())
+    fail("short write to trace file: " + path);
+}
+
+std::vector<u64> load_trace(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                                    &std::fclose);
+  if (!f) fail("cannot open trace file for reading: " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  long bytes = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (bytes < 0 || bytes % 8 != 0) fail("trace file has invalid size: " + path);
+  std::vector<u64> out(static_cast<std::size_t>(bytes) / 8);
+  if (!out.empty() &&
+      std::fread(out.data(), sizeof(u64), out.size(), f.get()) != out.size())
+    fail("short read from trace file: " + path);
+  return out;
+}
+
+}  // namespace rapwam

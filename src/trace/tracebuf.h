@@ -1,0 +1,72 @@
+// In-memory trace buffer plus per-area/class reference counters.
+//
+// CountingSink is the cheap always-on instrumentation (Table 2 and
+// Figure 2 need only counts); TraceBuffer additionally retains the full
+// packed reference stream for cache simulation (Figure 4, Table 3).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "trace/memref.h"
+
+namespace rapwam {
+
+/// Aggregate counters over a reference stream.
+struct RefCounts {
+  u64 total = 0;
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 busy = 0;  ///< refs issued while doing useful work ("work" in Fig. 2)
+  std::array<u64, kAreaCount> by_area{};
+  std::array<u64, kObjClassCount> by_class{};
+  std::array<u64, 64> by_pe{};
+
+  void add(const MemRef& r) {
+    ++total;
+    if (r.write) ++writes; else ++reads;
+    if (r.busy) ++busy;
+    by_area[static_cast<std::size_t>(traits_of(r.cls).area)]++;
+    by_class[static_cast<std::size_t>(r.cls)]++;
+    if (r.pe < by_pe.size()) by_pe[r.pe]++;
+  }
+};
+
+class CountingSink : public TraceSink {
+ public:
+  void on_ref(const MemRef& r) override { counts_.add(r); }
+  const RefCounts& counts() const { return counts_; }
+
+ private:
+  RefCounts counts_;
+};
+
+/// Retains the packed stream (optionally only busy references, which is
+/// what the paper feeds its cache simulators) and counts everything.
+class TraceBuffer : public TraceSink {
+ public:
+  explicit TraceBuffer(bool busy_only = true) : busy_only_(busy_only) {}
+
+  void on_ref(const MemRef& r) override {
+    counts_.add(r);
+    if (!busy_only_ || r.busy) packed_.push_back(r.pack());
+  }
+
+  const RefCounts& counts() const { return counts_; }
+  const std::vector<u64>& packed() const { return packed_; }
+  std::size_t size() const { return packed_.size(); }
+  MemRef at(std::size_t i) const { return MemRef::unpack(packed_[i]); }
+  void clear() { packed_.clear(); counts_ = RefCounts{}; }
+
+ private:
+  bool busy_only_;
+  std::vector<u64> packed_;
+  RefCounts counts_;
+};
+
+/// Writes/reads a packed trace to/from a binary file (8 bytes/ref,
+/// little-endian host order) so traces can be archived and replayed.
+void save_trace(const std::vector<u64>& packed, const std::string& path);
+std::vector<u64> load_trace(const std::string& path);
+
+}  // namespace rapwam

@@ -1,0 +1,155 @@
+// Tests for the extended builtin set: standard order of terms,
+// compare/3, =../2 (univ), copy_term/2.
+#include <gtest/gtest.h>
+
+#include "engine/machine.h"
+
+namespace rapwam {
+namespace {
+
+struct Env {
+  Program prog;
+  std::unique_ptr<Machine> m;
+  explicit Env(const std::string& src = "t.", unsigned max_sols = 1) {
+    prog.consult(src);
+    MachineConfig cfg;
+    cfg.max_solutions = max_sols;
+    m = std::make_unique<Machine>(prog, cfg);
+  }
+  RunResult run(const std::string& goal) { return m->solve(goal); }
+};
+
+std::string binding(const RunResult& r, const std::string& var) {
+  for (auto& [n, v] : r.solutions.at(0).bindings)
+    if (n == var) return v;
+  return "<unbound?>";
+}
+
+TEST(StandardOrder, TypeRanking) {
+  Env e;
+  // Var < Int < Atom < Compound.
+  EXPECT_TRUE(e.run("X @< 1.").success);
+  EXPECT_TRUE(e.run("1 @< a.").success);
+  EXPECT_TRUE(e.run("a @< f(1).").success);
+  EXPECT_FALSE(e.run("f(1) @< a.").success);
+}
+
+TEST(StandardOrder, IntegersByValue) {
+  Env e;
+  EXPECT_TRUE(e.run("1 @< 2.").success);
+  EXPECT_TRUE(e.run("-5 @< 3.").success);
+  EXPECT_FALSE(e.run("2 @< 2.").success);
+  EXPECT_TRUE(e.run("2 @=< 2.").success);
+}
+
+TEST(StandardOrder, AtomsAlphabetically) {
+  Env e;
+  EXPECT_TRUE(e.run("apple @< banana.").success);
+  EXPECT_TRUE(e.run("zebra @> apple.").success);
+  EXPECT_TRUE(e.run("abc @>= abc.").success);
+}
+
+TEST(StandardOrder, CompoundsByArityThenNameThenArgs) {
+  Env e;
+  EXPECT_TRUE(e.run("f(1) @< f(1,2).").success);      // arity first
+  EXPECT_TRUE(e.run("f(9) @< g(1).").success);        // then name
+  EXPECT_TRUE(e.run("f(1,2) @< f(1,3).").success);    // then args
+  EXPECT_FALSE(e.run("f(1,2) @< f(1,2).").success);
+}
+
+TEST(StandardOrder, ListsAreDotTerms) {
+  Env e;
+  EXPECT_TRUE(e.run("[1,2] @< [1,3].").success);
+  EXPECT_TRUE(e.run("[1] @< [1,2].").success);  // [1] = '.'(1,[]), tails compare
+}
+
+TEST(StandardOrder, VariablesByAge) {
+  Env e;
+  // Two distinct variables compare consistently and non-equal.
+  RunResult r = e.run("compare(O, X, Y).");
+  ASSERT_TRUE(r.success);
+  EXPECT_NE(binding(r, "O"), "=");
+  EXPECT_TRUE(e.run("compare(=, X, X).").success);
+}
+
+TEST(Compare3, ProducesOrderAtom) {
+  Env e;
+  EXPECT_EQ(binding(e.run("compare(O, 1, 2)."), "O"), "<");
+  EXPECT_EQ(binding(e.run("compare(O, b, a)."), "O"), ">");
+  EXPECT_EQ(binding(e.run("compare(O, f(x), f(x))."), "O"), "=");
+  EXPECT_TRUE(e.run("compare(<, 1, 2).").success);
+  EXPECT_FALSE(e.run("compare(>, 1, 2).").success);
+}
+
+TEST(Univ, DecomposesStructures) {
+  Env e;
+  RunResult r = e.run("f(a, b, c) =.. L.");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "L"), "[f,a,b,c]");
+  EXPECT_EQ(binding(e.run("foo =.. L."), "L"), "[foo]");
+  EXPECT_EQ(binding(e.run("42 =.. L."), "L"), "[42]");
+  EXPECT_EQ(binding(e.run("[x|T] =.. L."), "L").substr(0, 5), "[.,x,");
+}
+
+TEST(Univ, ConstructsStructures) {
+  Env e;
+  RunResult r = e.run("T =.. [g, 1, X].");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "T").substr(0, 5), "g(1,_");
+  EXPECT_EQ(binding(e.run("T =.. [hello]."), "T"), "hello");
+  EXPECT_EQ(binding(e.run("T =.. ['.', 1, []]."), "T"), "[1]");
+}
+
+TEST(Univ, RoundTrips) {
+  Env e;
+  EXPECT_TRUE(e.run("f(1, g(2)) =.. L, T =.. L, T == f(1, g(2)).").success);
+}
+
+TEST(Univ, RejectsBadLists) {
+  Env e;
+  EXPECT_FALSE(e.run("T =.. [].").success);
+  EXPECT_FALSE(e.run("T =.. [1, 2].").success);   // head must be an atom
+  EXPECT_FALSE(e.run("T =.. [f | _].").success);  // partial list
+}
+
+TEST(CopyTerm, FreshVariables) {
+  Env e;
+  // The copy's variable is distinct from the original's.
+  RunResult r = e.run("copy_term(f(X, X, Y), C), C = f(1, Z, 2), var(X), var(Y).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "Z"), "1");  // sharing preserved inside the copy
+}
+
+TEST(CopyTerm, GroundTermsShare) {
+  Env e;
+  EXPECT_TRUE(e.run("copy_term(f(1, [a, b]), C), C == f(1, [a, b]).").success);
+}
+
+TEST(CopyTerm, CopyIsIndependent) {
+  Env e;
+  // Binding the copy must not bind the original.
+  EXPECT_TRUE(e.run("copy_term(X, C), C = 42, var(X).").success);
+}
+
+TEST(Msort, SortingViaStandardOrder) {
+  // A user-level insertion sort driven by @=< (exercises the ordering
+  // builtins in a realistic program).
+  Env e(
+      "isort([], []). "
+      "isort([X|Xs], S) :- isort(Xs, S1), ins(X, S1, S). "
+      "ins(X, [], [X]). "
+      "ins(X, [Y|Ys], [X,Y|Ys]) :- X @=< Y, !. "
+      "ins(X, [Y|Ys], [Y|Zs]) :- ins(X, Ys, Zs).");
+  RunResult r = e.run("isort([b, 3, f(1), a, 1, f(0)], S).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "S"), "[1,3,a,b,f(0),f(1)]");
+}
+
+TEST(Builtins, MetaCallOfNewBuiltins) {
+  Env e;
+  EXPECT_TRUE(e.run("call(compare(<, 1, 2)).").success);
+  EXPECT_FALSE(e.run("call(1 @< 1).").success);
+}
+
+}  // namespace
+}  // namespace rapwam

@@ -1,0 +1,297 @@
+// End-to-end engine tests on 1 PE: facts, unification, arithmetic,
+// lists, backtracking, cut, builtins, multiple solutions.
+#include <gtest/gtest.h>
+
+#include "engine/machine.h"
+
+namespace rapwam {
+namespace {
+
+struct Env {
+  Program prog;
+  std::unique_ptr<Machine> m;
+  explicit Env(const std::string& src, unsigned pes = 1, unsigned max_sols = 1) {
+    prog.consult(src);
+    MachineConfig cfg;
+    cfg.num_pes = pes;
+    cfg.max_solutions = max_sols;
+    m = std::make_unique<Machine>(prog, cfg);
+  }
+  RunResult run(const std::string& goal) { return m->solve(goal); }
+};
+
+std::string binding(const RunResult& r, const std::string& var, std::size_t sol = 0) {
+  for (auto& [n, v] : r.solutions.at(sol).bindings)
+    if (n == var) return v;
+  return "<unbound?>";
+}
+
+TEST(Engine, FactSucceeds) {
+  Env e("parent(tom, bob).");
+  EXPECT_TRUE(e.run("parent(tom, bob).").success);
+  EXPECT_FALSE(e.run("parent(bob, tom).").success);
+}
+
+TEST(Engine, BindsQueryVariable) {
+  Env e("parent(tom, bob).");
+  RunResult r = e.run("parent(tom, X).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "X"), "bob");
+}
+
+TEST(Engine, UnifiesStructures) {
+  Env e("eq(X, X).");
+  RunResult r = e.run("eq(f(g(1),h(A)), f(B,h(2))).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "A"), "2");
+  EXPECT_EQ(binding(r, "B"), "g(1)");
+}
+
+TEST(Engine, OccursFreeCircularAvoided) {
+  // No occurs check (standard WAM); just make sure basic var-var works.
+  Env e("eq(X, X).");
+  RunResult r = e.run("eq(X, Y).");
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Engine, Arithmetic) {
+  Env e("add(X, Y, Z) :- Z is X + Y.");
+  RunResult r = e.run("add(2, 3, Z).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "Z"), "5");
+  EXPECT_FALSE(e.run("add(2, 3, 6).").success);
+}
+
+TEST(Engine, ArithmeticOperators) {
+  Env e("calc(R) :- R is (10 - 3) * 2 + 100 // 7 - (5 mod 3).");
+  RunResult r = e.run("calc(R).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "R"), "26");  // 14 + 14 - 2
+}
+
+TEST(Engine, NegativeModFollowsISO) {
+  Env e("m(R) :- R is -7 mod 3. n(R) :- R is -7 rem 3.");
+  EXPECT_EQ(binding(e.run("m(R)."), "R"), "2");
+  EXPECT_EQ(binding(e.run("n(R)."), "R"), "-1");
+}
+
+TEST(Engine, Comparisons) {
+  Env e("t.");
+  EXPECT_TRUE(e.run("1 < 2.").success);
+  EXPECT_FALSE(e.run("2 < 1.").success);
+  EXPECT_TRUE(e.run("2 =< 2.").success);
+  EXPECT_TRUE(e.run("3 > 1.").success);
+  EXPECT_TRUE(e.run("3 >= 3.").success);
+  EXPECT_TRUE(e.run("1 + 1 =:= 2.").success);
+  EXPECT_TRUE(e.run("1 =\\= 2.").success);
+}
+
+TEST(Engine, UnboundArithmeticThrows) {
+  Env e("bad(X, R) :- R is X + 1.");
+  EXPECT_THROW(e.run("bad(_, R)."), Error);
+}
+
+TEST(Engine, ListAppend) {
+  Env e(
+      "app([], L, L). "
+      "app([X|Xs], L, [X|Ys]) :- app(Xs, L, Ys).");
+  RunResult r = e.run("app([1,2], [3,4], R).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "R"), "[1,2,3,4]");
+}
+
+TEST(Engine, ListAppendBackward) {
+  Env e(
+      "app([], L, L). "
+      "app([X|Xs], L, [X|Ys]) :- app(Xs, L, Ys).",
+      1, 10);
+  RunResult r = e.run("app(A, B, [1,2,3]).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions.size(), 4u);
+  EXPECT_EQ(binding(r, "A", 0), "[]");
+  EXPECT_EQ(binding(r, "B", 0), "[1,2,3]");
+  EXPECT_EQ(binding(r, "A", 3), "[1,2,3]");
+  EXPECT_EQ(binding(r, "B", 3), "[]");
+}
+
+TEST(Engine, NaiveReverse) {
+  Env e(
+      "nrev([],[]). "
+      "nrev([X|Xs],R) :- nrev(Xs,R1), app(R1,[X],R). "
+      "app([], L, L). "
+      "app([X|Xs], L, [X|Ys]) :- app(Xs, L, Ys).");
+  RunResult r = e.run("nrev([1,2,3,4,5], R).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "R"), "[5,4,3,2,1]");
+}
+
+TEST(Engine, BacktrackingThroughFacts) {
+  Env e("color(red). color(green). color(blue).", 1, 10);
+  RunResult r = e.run("color(C).");
+  ASSERT_EQ(r.solutions.size(), 3u);
+  EXPECT_EQ(binding(r, "C", 0), "red");
+  EXPECT_EQ(binding(r, "C", 1), "green");
+  EXPECT_EQ(binding(r, "C", 2), "blue");
+}
+
+TEST(Engine, MaxSolutionsLimits) {
+  Env e("n(1). n(2). n(3). n(4).", 1, 2);
+  RunResult r = e.run("n(X).");
+  EXPECT_EQ(r.solutions.size(), 2u);
+}
+
+TEST(Engine, CutPrunesAlternatives) {
+  Env e("first(X) :- member(X, [1,2,3]), !. "
+        "member(X, [X|_]). member(X, [_|T]) :- member(X, T).",
+        1, 10);
+  RunResult r = e.run("first(X).");
+  EXPECT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(binding(r, "X"), "1");
+}
+
+TEST(Engine, NeckCutCommitsToClause) {
+  Env e("max(X, Y, X) :- X >= Y, !. max(_, Y, Y).", 1, 10);
+  RunResult r = e.run("max(3, 2, M).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(binding(r, "M"), "3");
+  RunResult r2 = e.run("max(1, 2, M).");
+  EXPECT_EQ(binding(r2, "M"), "2");
+}
+
+TEST(Engine, IfThenElse) {
+  Env e("class(X, small) :- (X < 10 -> true ; fail). "
+        "class(X, big) :- (X < 10 -> fail ; true).");
+  EXPECT_TRUE(e.run("class(5, small).").success);
+  EXPECT_FALSE(e.run("class(15, small).").success);
+  EXPECT_TRUE(e.run("class(15, big).").success);
+}
+
+TEST(Engine, NegationAsFailure) {
+  Env e("p(1). q(X) :- \\+ p(X).");
+  EXPECT_FALSE(e.run("q(1).").success);
+  EXPECT_TRUE(e.run("q(2).").success);
+}
+
+TEST(Engine, Disjunction) {
+  Env e("ab(X) :- (X = a ; X = b).", 1, 10);
+  RunResult r = e.run("ab(X).");
+  ASSERT_EQ(r.solutions.size(), 2u);
+  EXPECT_EQ(binding(r, "X", 0), "a");
+  EXPECT_EQ(binding(r, "X", 1), "b");
+}
+
+TEST(Engine, TypeTests) {
+  Env e("t.");
+  EXPECT_TRUE(e.run("var(_).").success);
+  EXPECT_FALSE(e.run("var(a).").success);
+  EXPECT_TRUE(e.run("nonvar(a).").success);
+  EXPECT_TRUE(e.run("atom(foo).").success);
+  EXPECT_FALSE(e.run("atom(1).").success);
+  EXPECT_TRUE(e.run("integer(3).").success);
+  EXPECT_TRUE(e.run("atomic(3).").success);
+  EXPECT_TRUE(e.run("atomic(foo).").success);
+  EXPECT_FALSE(e.run("atomic(f(x)).").success);
+  EXPECT_TRUE(e.run("compound(f(x)).").success);
+  EXPECT_TRUE(e.run("compound([1]).").success);
+}
+
+TEST(Engine, StructuralComparison) {
+  Env e("t.");
+  EXPECT_TRUE(e.run("f(a,1) == f(a,1).").success);
+  EXPECT_FALSE(e.run("f(a,1) == f(a,2).").success);
+  EXPECT_TRUE(e.run("f(a,1) \\== f(a,2).").success);
+  EXPECT_FALSE(e.run("X == Y.").success);
+  EXPECT_TRUE(e.run("X == X.").success);
+}
+
+TEST(Engine, GroundAndIndep) {
+  Env e("t.");
+  EXPECT_TRUE(e.run("ground(f(a,[1,2])).").success);
+  EXPECT_FALSE(e.run("ground(f(a,X)).").success);
+  EXPECT_TRUE(e.run("indep(f(X), g(Y)).").success);
+  EXPECT_FALSE(e.run("indep(f(X), g(X)).").success);
+  EXPECT_TRUE(e.run("indep(f(a), g(a)).").success);
+}
+
+TEST(Engine, FunctorBuiltin) {
+  Env e("t.");
+  RunResult r = e.run("functor(f(a,b), N, A).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "N"), "f");
+  EXPECT_EQ(binding(r, "A"), "2");
+  RunResult r2 = e.run("functor(T, g, 2).");
+  ASSERT_TRUE(r2.success);
+  EXPECT_EQ(binding(r2, "T").substr(0, 2), "g(");
+}
+
+TEST(Engine, ArgBuiltin) {
+  Env e("t.");
+  RunResult r = e.run("arg(2, f(a,b,c), X).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "X"), "b");
+  EXPECT_FALSE(e.run("arg(4, f(a,b,c), _).").success);
+}
+
+TEST(Engine, MetaCall) {
+  Env e("p(1). q(X) :- call(p(X)).");
+  RunResult r = e.run("q(X).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "X"), "1");
+  EXPECT_FALSE(e.run("call(fail).").success);
+  EXPECT_TRUE(e.run("call(true).").success);
+}
+
+TEST(Engine, WriteProducesOutput) {
+  Env e("hello :- write(hi), nl, write(f(1)).");
+  RunResult r = e.run("hello.");
+  EXPECT_EQ(r.output, "hi\nf(1)");
+}
+
+TEST(Engine, DeepRecursionWithinLimits) {
+  Env e(
+      "count(0) :- !. "
+      "count(N) :- N1 is N - 1, count(N1).");
+  EXPECT_TRUE(e.run("count(20000).").success);
+}
+
+TEST(Engine, LastCallOptimizationKeepsStackFlat) {
+  Env e(
+      "loop(0). "
+      "loop(N) :- N > 0, N1 is N - 1, loop(N1).");
+  RunResult r = e.run("loop(50000).");
+  ASSERT_TRUE(r.success);
+  // With LCO the local stack must stay shallow.
+  u64 local_hw = r.stats.high_water[static_cast<size_t>(Area::Local)];
+  EXPECT_LT(local_hw, 4096u);
+}
+
+TEST(Engine, StatsArePopulated) {
+  Env e("n(1). n(2).");
+  RunResult r = e.run("n(X).");
+  EXPECT_GT(r.stats.instructions, 0u);
+  EXPECT_GT(r.stats.refs.total, 0u);
+  EXPECT_GT(r.stats.calls, 0u);
+  EXPECT_EQ(r.stats.num_pes, 1u);
+}
+
+TEST(Engine, FirstArgIndexingAvoidsChoicePoints) {
+  // With indexing, a deterministic lookup leaves no choice points, so
+  // a subsequent cut-free query still returns exactly one solution.
+  Env e("t(a, 1). t(b, 2). t(c, 3).", 1, 10);
+  RunResult r = e.run("t(b, X).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(binding(r, "X"), "2");
+}
+
+TEST(Engine, UnifyTwoQueryVars) {
+  Env e("eq(X,X).");
+  RunResult r = e.run("eq(A, B).");
+  ASSERT_TRUE(r.success);
+  // A and B are aliased; both print as the same fresh variable.
+  EXPECT_EQ(binding(r, "A"), binding(r, "B"));
+}
+
+}  // namespace
+}  // namespace rapwam

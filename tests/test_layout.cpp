@@ -1,0 +1,100 @@
+// Layout tests: address <-> (PE, area) mapping, block geometry, and
+// the engine cell encoding.
+#include <gtest/gtest.h>
+
+#include "engine/cell.h"
+#include "engine/layout.h"
+
+namespace rapwam {
+namespace {
+
+TEST(Layout, AreasArePackedAndDisjoint) {
+  AreaSizes sz;
+  Layout l(4, sz);
+  for (unsigned pe = 0; pe < 4; ++pe) {
+    u64 prev_end = pe * l.block_size();
+    for (std::size_t a = 0; a < kAreaCount; ++a) {
+      Area area = static_cast<Area>(a);
+      EXPECT_EQ(l.base(pe, area), prev_end);
+      EXPECT_EQ(l.limit(pe, area) - l.base(pe, area), l.size_of(area));
+      prev_end = l.limit(pe, area);
+    }
+    EXPECT_EQ(prev_end, (pe + 1) * l.block_size());
+  }
+}
+
+TEST(Layout, AreaOfRoundTrips) {
+  AreaSizes sz;
+  Layout l(3, sz);
+  for (unsigned pe = 0; pe < 3; ++pe) {
+    for (std::size_t a = 0; a < kAreaCount; ++a) {
+      Area area = static_cast<Area>(a);
+      u64 first = l.base(pe, area);
+      u64 last = l.limit(pe, area) - 1;
+      EXPECT_EQ(l.area_of(first), area);
+      EXPECT_EQ(l.area_of(last), area);
+      EXPECT_EQ(l.pe_of(first), pe);
+      EXPECT_EQ(l.pe_of(last), pe);
+      EXPECT_TRUE(l.in_area(first, pe, area));
+      EXPECT_FALSE(l.in_area(first, (pe + 1) % 3, area));
+    }
+  }
+}
+
+TEST(Layout, TotalWords) {
+  AreaSizes sz;
+  Layout l(8, sz);
+  EXPECT_EQ(l.total_words(), 8 * sz.total());
+}
+
+TEST(Layout, RejectsBadPeCounts) {
+  AreaSizes sz;
+  EXPECT_THROW(Layout(0, sz), Error);
+  EXPECT_THROW(Layout(65, sz), Error);
+}
+
+TEST(Cell, TagsRoundTrip) {
+  u64 r = make_ref(0x123456789);
+  EXPECT_EQ(cell_tag(r), Tag::Ref);
+  EXPECT_EQ(cell_val(r), 0x123456789u);
+
+  u64 s = make_str(42);
+  EXPECT_EQ(cell_tag(s), Tag::Str);
+  u64 lcell = make_lis(7);
+  EXPECT_EQ(cell_tag(lcell), Tag::Lis);
+  u64 c = make_con(99);
+  EXPECT_EQ(cell_tag(c), Tag::Con);
+  EXPECT_EQ(cell_val(c), 99u);
+}
+
+TEST(Cell, IntegersSignExtend) {
+  EXPECT_EQ(int_val(make_int(0)), 0);
+  EXPECT_EQ(int_val(make_int(123456789)), 123456789);
+  EXPECT_EQ(int_val(make_int(-1)), -1);
+  EXPECT_EQ(int_val(make_int(-123456789012345)), -123456789012345);
+  i64 big = (i64(1) << 54);
+  EXPECT_EQ(int_val(make_int(big)), big);
+  EXPECT_EQ(int_val(make_int(-big)), -big);
+}
+
+TEST(Cell, FunctorCells) {
+  u64 f = make_fun(1234, 7);
+  EXPECT_EQ(cell_tag(f), Tag::Fun);
+  EXPECT_EQ(fun_name(f), 1234u);
+  EXPECT_EQ(fun_arity(f), 7u);
+  u64 g = make_fun(0xFFFFF, 0xFFFF);
+  EXPECT_EQ(fun_name(g), 0xFFFFFu);
+  EXPECT_EQ(fun_arity(g), 0xFFFFu);
+}
+
+TEST(Cell, DistinctTagsNeverCollide) {
+  u64 v = 0x1234;
+  u64 cells[] = {make_ref(v), make_str(v), make_lis(v), make_con(static_cast<u32>(v)),
+                 make_int(static_cast<i64>(v)), make_fun(static_cast<u32>(v), 2),
+                 make_raw(v)};
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = i + 1; j < 7; ++j) EXPECT_NE(cells[i], cells[j]);
+}
+
+}  // namespace
+}  // namespace rapwam

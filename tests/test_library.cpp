@@ -1,0 +1,124 @@
+// Tests for the Prolog prelude library (src/harness/library.h).
+#include <gtest/gtest.h>
+
+#include "engine/machine.h"
+#include "harness/library.h"
+
+namespace rapwam {
+namespace {
+
+struct Env {
+  Program prog;
+  std::unique_ptr<Machine> m;
+  explicit Env(const std::string& extra = "", unsigned pes = 1,
+               unsigned max_sols = 1) {
+    prog.consult(kPreludeSource);
+    if (!extra.empty()) prog.consult(extra);
+    MachineConfig cfg;
+    cfg.num_pes = pes;
+    cfg.max_solutions = max_sols;
+    m = std::make_unique<Machine>(prog, cfg);
+  }
+  RunResult run(const std::string& goal) { return m->solve(goal); }
+};
+
+std::string binding(const RunResult& r, const std::string& var, std::size_t i = 0) {
+  for (auto& [n, v] : r.solutions.at(i).bindings)
+    if (n == var) return v;
+  return "<unbound?>";
+}
+
+TEST(Library, AppendMemberLength) {
+  Env e;
+  EXPECT_EQ(binding(e.run("append([1,2],[3],R)."), "R"), "[1,2,3]");
+  EXPECT_TRUE(e.run("member(2, [1,2,3]).").success);
+  EXPECT_FALSE(e.run("member(9, [1,2,3]).").success);
+  EXPECT_EQ(binding(e.run("length([a,b,c,d], N)."), "N"), "4");
+  EXPECT_EQ(binding(e.run("length([], N)."), "N"), "0");
+}
+
+TEST(Library, MemberchkIsDeterministic) {
+  Env e("", 1, 10);
+  RunResult r = e.run("memberchk(2, [1,2,2,2]).");
+  EXPECT_EQ(r.solutions.size(), 1u);
+}
+
+TEST(Library, ReverseNthLast) {
+  Env e;
+  EXPECT_EQ(binding(e.run("reverse([1,2,3], R)."), "R"), "[3,2,1]");
+  EXPECT_EQ(binding(e.run("nth0(1, [a,b,c], X)."), "X"), "b");
+  EXPECT_EQ(binding(e.run("nth1(1, [a,b,c], X)."), "X"), "a");
+  EXPECT_EQ(binding(e.run("last([a,b,c], X)."), "X"), "c");
+  EXPECT_FALSE(e.run("nth0(5, [a], _).").success);
+}
+
+TEST(Library, ListArithmetic) {
+  Env e;
+  EXPECT_EQ(binding(e.run("sum_list([1,2,3,4], S)."), "S"), "10");
+  EXPECT_EQ(binding(e.run("max_list([3,9,2], M)."), "M"), "9");
+  EXPECT_EQ(binding(e.run("min_list([3,9,2], M)."), "M"), "2");
+}
+
+TEST(Library, BetweenEnumerates) {
+  Env e("", 1, 10);
+  RunResult r = e.run("between(1, 4, X).");
+  ASSERT_EQ(r.solutions.size(), 4u);
+  EXPECT_EQ(binding(r, "X", 0), "1");
+  EXPECT_EQ(binding(r, "X", 3), "4");
+  EXPECT_FALSE(e.run("between(3, 1, _).").success);
+}
+
+TEST(Library, Numlist) {
+  Env e;
+  EXPECT_EQ(binding(e.run("numlist(2, 6, L)."), "L"), "[2,3,4,5,6]");
+  EXPECT_EQ(binding(e.run("numlist(3, 2, L)."), "L"), "[]");
+}
+
+TEST(Library, MsortKeepsDuplicatesSortRemoves) {
+  Env e;
+  EXPECT_EQ(binding(e.run("msort([3,1,2,1], S)."), "S"), "[1,1,2,3]");
+  EXPECT_EQ(binding(e.run("sort([3,1,2,1], S)."), "S"), "[1,2,3]");
+  EXPECT_EQ(binding(e.run("msort([b,a,f(2),f(1),10], S)."), "S"),
+            "[10,a,b,f(1),f(2)]");
+}
+
+TEST(Library, SelectAndDelete) {
+  Env e("", 1, 10);
+  RunResult r = e.run("select(X, [1,2,3], R).");
+  ASSERT_EQ(r.solutions.size(), 3u);
+  EXPECT_EQ(binding(r, "R", 0), "[2,3]");
+  EXPECT_EQ(binding(e.run("delete([1,2,1,3], 1, R)."), "R"), "[2,3]");
+}
+
+TEST(Library, MaplistViaUniv) {
+  Env e("even(X) :- X mod 2 =:= 0.");
+  EXPECT_TRUE(e.run("maplist1(even, [2,4,6]).").success);
+  EXPECT_FALSE(e.run("maplist1(even, [2,3]).").success);
+}
+
+TEST(Library, ParMapMatchesSequentialMap) {
+  Env e2("double(X, Y) :- Y is X * 2.", 4);
+  RunResult r = e2.run("par_map(double, [1,2,3,4,5,6,7,8], R).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "R"), "[2,4,6,8,10,12,14,16]");
+}
+
+TEST(Library, ParMapUsesParallelism) {
+  Env e("slowid(X, X) :- numlist(1, 50, L), sum_list(L, _).", 8);
+  RunResult r = e.run("par_map(slowid, [a,b,c,d,e,f,g,h], R).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "R"), "[a,b,c,d,e,f,g,h]");
+  EXPECT_GT(r.stats.parcalls, 0u);
+}
+
+TEST(Library, WorksAtManyPECounts) {
+  for (unsigned pes : {1u, 2u, 8u}) {
+    Env e("sq(X, Y) :- Y is X * X.", pes);
+    RunResult r = e.run("numlist(1, 6, L), par_map(sq, L, R), sum_list(R, S).");
+    ASSERT_TRUE(r.success) << pes;
+    EXPECT_EQ(binding(r, "S"), "91") << pes;  // 1+4+9+16+25+36
+  }
+}
+
+}  // namespace
+}  // namespace rapwam

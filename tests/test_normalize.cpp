@@ -1,0 +1,220 @@
+// Normaliser tests: flattening, lifting of control constructs, CGE
+// recognition, builtin identification, strip mode.
+#include <gtest/gtest.h>
+
+#include "compiler/analyze.h"
+
+namespace rapwam {
+namespace {
+
+const std::vector<NClause>& clauses_for(NormalizedProgram& np, Program& p,
+                                        const std::string& name, u32 arity) {
+  return np.preds.at(p.pred_id(name, arity));
+}
+
+TEST(Normalize, FlattensConjunction) {
+  Program p;
+  p.consult("a :- b, c, d. b. c. d.");
+  auto np = normalize(p, false);
+  const auto& cs = clauses_for(np, p, "a", 0);
+  ASSERT_EQ(cs[0].body.size(), 3u);
+  EXPECT_EQ(cs[0].body[0].kind, NGoal::Kind::Call);
+}
+
+TEST(Normalize, TrueDisappears) {
+  Program p;
+  p.consult("a :- true, b, true. b.");
+  auto np = normalize(p, false);
+  EXPECT_EQ(clauses_for(np, p, "a", 0)[0].body.size(), 1u);
+}
+
+TEST(Normalize, RecognisesBuiltins) {
+  Program p;
+  p.consult("a(X,Y) :- X is Y + 1, X < 3, X == Y.");
+  auto np = normalize(p, false);
+  const auto& b = clauses_for(np, p, "a", 2)[0].body;
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0].kind, NGoal::Kind::Builtin);
+  EXPECT_EQ(b[0].bid, BuiltinId::Is);
+  EXPECT_EQ(b[1].bid, BuiltinId::LessThan);
+  EXPECT_EQ(b[2].bid, BuiltinId::StructEq);
+}
+
+TEST(Normalize, CutBecomesCutGoal) {
+  Program p;
+  p.consult("a :- !, b. b.");
+  auto np = normalize(p, false);
+  EXPECT_EQ(clauses_for(np, p, "a", 0)[0].body[0].kind, NGoal::Kind::Cut);
+}
+
+TEST(Normalize, LiftsDisjunction) {
+  Program p;
+  p.consult("a(X) :- (p(X) ; q(X)). p(1). q(2).");
+  auto np = normalize(p, false);
+  const auto& b = clauses_for(np, p, "a", 1)[0].body;
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].kind, NGoal::Kind::Call);
+  // The lifted predicate has two clauses over the shared variable.
+  const auto& aux = np.preds.at(b[0].pred);
+  EXPECT_EQ(aux.size(), 2u);
+  EXPECT_EQ(b[0].pred.arity, 1u);
+}
+
+TEST(Normalize, LiftsIfThenElseWithLocalCut) {
+  Program p;
+  p.consult("a(X,R) :- (X < 3 -> R = small ; R = big).");
+  auto np = normalize(p, false);
+  const auto& b = clauses_for(np, p, "a", 2)[0].body;
+  ASSERT_EQ(b.size(), 1u);
+  const auto& aux = np.preds.at(b[0].pred);
+  ASSERT_EQ(aux.size(), 2u);
+  // First aux clause: condition, cut, then-branch.
+  ASSERT_EQ(aux[0].body.size(), 3u);
+  EXPECT_EQ(aux[0].body[1].kind, NGoal::Kind::Cut);
+}
+
+TEST(Normalize, LiftsNegationAsFailure) {
+  Program p;
+  p.consult("a(X) :- \\+ p(X). p(1).");
+  auto np = normalize(p, false);
+  const auto& b = clauses_for(np, p, "a", 1)[0].body;
+  const auto& aux = np.preds.at(b[0].pred);
+  ASSERT_EQ(aux.size(), 2u);
+  // aux :- p(X), !, fail.   aux.
+  ASSERT_EQ(aux[0].body.size(), 3u);
+  EXPECT_EQ(aux[0].body[2].bid, BuiltinId::Fail);
+  EXPECT_TRUE(aux[1].body.empty());
+}
+
+TEST(Normalize, UnconditionalParcall) {
+  Program p;
+  p.consult("a(X,Y) :- p(X) & q(Y). p(1). q(1).");
+  auto np = normalize(p, false);
+  const auto& b = clauses_for(np, p, "a", 2)[0].body;
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].kind, NGoal::Kind::Parcall);
+  EXPECT_TRUE(b[0].conds.empty());
+  EXPECT_FALSE(b[0].sequentialized);
+  ASSERT_EQ(b[0].pgoals.size(), 2u);
+  EXPECT_EQ(b[0].pgoals[0].kind, NGoal::Kind::Call);
+}
+
+TEST(Normalize, FlattensNestedAmp) {
+  Program p;
+  p.consult("a :- p & q & r. p. q. r.");
+  auto np = normalize(p, false);
+  EXPECT_EQ(clauses_for(np, p, "a", 0)[0].body[0].pgoals.size(), 3u);
+}
+
+TEST(Normalize, ConditionalCGE) {
+  Program p;
+  p.consult("f(X,Y,Z) :- (indep(X,Z), ground(Y) | g(X,Y) & h(Y,Z)). g(1,1). h(1,1).");
+  auto np = normalize(p, false);
+  const auto& b = clauses_for(np, p, "f", 3)[0].body;
+  ASSERT_EQ(b.size(), 1u);
+  ASSERT_EQ(b[0].conds.size(), 2u);
+  EXPECT_TRUE(b[0].conds[0].indep);
+  EXPECT_FALSE(b[0].conds[1].indep);
+  EXPECT_EQ(b[0].pgoals.size(), 2u);
+}
+
+TEST(Normalize, BadCGEConditionRejected) {
+  Program p;
+  p.consult("f(X) :- (p(X) | g(X) & h(X)). g(1). h(1). p(1).");
+  EXPECT_THROW(normalize(p, false), Error);
+}
+
+TEST(Normalize, BuiltinInParallelPositionIsLifted) {
+  Program p;
+  p.consult("a(X,Y) :- (X = 1) & p(Y). p(2).");
+  auto np = normalize(p, false);
+  const auto& pc = clauses_for(np, p, "a", 2)[0].body[0];
+  ASSERT_EQ(pc.pgoals.size(), 2u);
+  // Both parallel goals must be plain calls after lifting.
+  EXPECT_EQ(pc.pgoals[0].kind, NGoal::Kind::Call);
+  EXPECT_EQ(pc.pgoals[1].kind, NGoal::Kind::Call);
+}
+
+TEST(Normalize, StripModeSequentializes) {
+  Program p;
+  p.consult("a(X,Y) :- p(X) & q(Y). p(1). q(1).");
+  auto np = normalize(p, true);
+  const auto& b = clauses_for(np, p, "a", 2)[0].body;
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b[0].sequentialized);
+  EXPECT_TRUE(b[0].conds.empty());
+}
+
+TEST(Normalize, VariableGoalRejected) {
+  Program p;
+  p.consult("a(X) :- X.");
+  EXPECT_THROW(normalize(p, false), Error);
+}
+
+TEST(Analyze, PermanentVsTemporary) {
+  Program p;
+  p.consult("a(X,Y,Z) :- p(X), q(Y), r(X,Z). p(1). q(1). r(1,1).");
+  auto np = normalize(p, false);
+  const NClause& c = np.preds.at(p.pred_id("a", 3))[0];
+  ClauseInfo info = analyze_clause(c.head, c.body);
+  // X spans chunks (head+p, then r): permanent. Y is in head+q's chunk?
+  // head..p(X) is chunk 0; q(Y) is chunk 1; so Y spans chunk 0 (head)
+  // and 1: permanent too. Z spans head (chunk 0) and r (chunk 2).
+  EXPECT_TRUE(info.needs_env);
+  EXPECT_EQ(info.num_y, 3);
+}
+
+TEST(Analyze, SingleChunkClauseNeedsNoEnv) {
+  Program p;
+  p.consult("a(X) :- p(X). p(1).");
+  auto np = normalize(p, false);
+  const NClause& c = np.preds.at(p.pred_id("a", 1))[0];
+  ClauseInfo info = analyze_clause(c.head, c.body);
+  EXPECT_FALSE(info.needs_env);
+  EXPECT_EQ(info.num_y, 0);
+}
+
+TEST(Analyze, CutAfterCallNeedsLevel) {
+  Program p;
+  p.consult("a :- b, !, c. b. c.");
+  auto np = normalize(p, false);
+  const NClause& c = np.preds.at(p.pred_id("a", 0))[0];
+  ClauseInfo info = analyze_clause(c.head, c.body);
+  EXPECT_GE(info.cut_y, 0);
+  EXPECT_TRUE(info.needs_env);
+}
+
+TEST(Analyze, NeckCutNeedsNoLevel) {
+  Program p;
+  p.consult("a(X) :- X < 1, !, b. b.");
+  auto np = normalize(p, false);
+  const NClause& c = np.preds.at(p.pred_id("a", 1))[0];
+  ClauseInfo info = analyze_clause(c.head, c.body);
+  EXPECT_EQ(info.cut_y, -1);
+}
+
+TEST(Analyze, SharedVarInUnconditionalParcallIsTemporary) {
+  Program p;
+  p.consult("a(L,R) :- p(L,M) & q(M,R). p(1,1). q(1,1).");
+  auto np = normalize(p, false);
+  const NClause& c = np.preds.at(p.pred_id("a", 2))[0];
+  ClauseInfo info = analyze_clause(c.head, c.body);
+  // All vars live in one chunk (head + single parcall): the only Y
+  // slot is the parcall frame pointer.
+  EXPECT_GE(info.pf_y, 0);
+  EXPECT_EQ(info.num_y, 1);
+}
+
+TEST(Analyze, SharedVarInConditionalParcallIsPermanent) {
+  Program p;
+  p.consult("a(L,R) :- (ground(L) | p(L,M) & q(M,R)). p(1,1). q(1,1).");
+  auto np = normalize(p, false);
+  const NClause& c = np.preds.at(p.pred_id("a", 2))[0];
+  ClauseInfo info = analyze_clause(c.head, c.body);
+  // M is shared between the two goals and a sequential path exists, so
+  // it needs a Y slot in addition to the parcall frame slot.
+  EXPECT_GE(info.num_y, 2);
+}
+
+}  // namespace
+}  // namespace rapwam

@@ -1,0 +1,325 @@
+// AND-parallel execution tests: parcall correctness across PE counts,
+// scheduling, conditional CGEs, failure/kill handling, nested
+// parallelism, and equivalence with sequential execution.
+#include <gtest/gtest.h>
+
+#include "engine/machine.h"
+#include "harness/programs.h"
+
+namespace rapwam {
+namespace {
+
+RunResult run(const std::string& src, const std::string& goal, unsigned pes,
+              bool strip = false, unsigned max_sols = 1) {
+  Program prog;
+  prog.consult(src);
+  MachineConfig cfg;
+  cfg.num_pes = pes;
+  cfg.strip_cge = strip;
+  cfg.max_solutions = max_sols;
+  Machine m(prog, cfg);
+  return m.solve(goal);
+}
+
+std::string binding(const RunResult& r, const std::string& var, std::size_t sol = 0) {
+  for (auto& [n, v] : r.solutions.at(sol).bindings)
+    if (n == var) return v;
+  return "<unbound?>";
+}
+
+const char* kFib = R"PL(
+fib(0, 0).
+fib(1, 1).
+fib(N, F) :-
+    N > 1, N1 is N - 1, N2 is N - 2,
+    (fib(N1, F1) & fib(N2, F2)),
+    F is F1 + F2.
+)PL";
+
+TEST(Parallel, UnconditionalParcallOnOnePE) {
+  RunResult r = run("a(X,Y) :- p(X) & q(Y). p(1). q(2).", "a(X,Y).", 1);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "X"), "1");
+  EXPECT_EQ(binding(r, "Y"), "2");
+}
+
+TEST(Parallel, UnconditionalParcallOnFourPEs) {
+  RunResult r = run("a(X,Y) :- p(X) & q(Y). p(1). q(2).", "a(X,Y).", 4);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "X"), "1");
+  EXPECT_EQ(binding(r, "Y"), "2");
+}
+
+TEST(Parallel, FibMatchesAcrossPECounts) {
+  for (unsigned pes : {1u, 2u, 3u, 4u, 8u}) {
+    RunResult r = run(kFib, "fib(15, F).", pes);
+    ASSERT_TRUE(r.success) << pes << " PEs";
+    EXPECT_EQ(binding(r, "F"), "610") << pes << " PEs";
+  }
+}
+
+TEST(Parallel, GoalsActuallyStolenWithManyPEs) {
+  RunResult r = run(kFib, "fib(14, F).", 8);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.stats.goals_stolen, 0u);
+  EXPECT_GT(r.stats.parcalls, 0u);
+}
+
+TEST(Parallel, OnePEExecutesAllGoalsLocally) {
+  RunResult r = run(kFib, "fib(10, F).", 1);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.stats.goals_stolen, 0u);
+  EXPECT_GT(r.stats.goals_local, 0u);
+}
+
+TEST(Parallel, SpeedupInCycles) {
+  RunResult r1 = run(kFib, "fib(16, F).", 1);
+  RunResult r8 = run(kFib, "fib(16, F).", 8);
+  ASSERT_TRUE(r1.success && r8.success);
+  // 8 PEs must be substantially faster in virtual cycles.
+  EXPECT_LT(r8.stats.cycles * 2, r1.stats.cycles);
+}
+
+TEST(Parallel, ConditionalCGETakesParallelPathWhenGround) {
+  const char* src =
+      "f(X,Y,R1,R2) :- (ground(X), ground(Y) | p(X,R1) & p(Y,R2)). "
+      "p(N,M) :- M is N + 1.";
+  RunResult r = run(src, "f(1, 2, A, B).", 4);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "A"), "2");
+  EXPECT_EQ(binding(r, "B"), "3");
+  EXPECT_GT(r.stats.parcalls, 0u);
+}
+
+TEST(Parallel, ConditionalCGEFallsBackWhenNotGround) {
+  const char* src =
+      "f(X,Y) :- (ground(X) | p(X) & q(Y)). "
+      "p(_). q(2).";
+  RunResult r = run(src, "f(_, Y).", 4);  // X unbound: sequential path
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "Y"), "2");
+  EXPECT_EQ(r.stats.parcalls, 0u);
+}
+
+TEST(Parallel, IndepConditionChecked) {
+  const char* src =
+      "f(X,Z) :- (indep(X,Z) | p(X) & q(Z)). "
+      "p(1). q(1). q(2).";
+  // Independent: parallel path.
+  RunResult r1 = run(src, "f(A, B).", 2);
+  ASSERT_TRUE(r1.success);
+  EXPECT_GT(r1.stats.parcalls, 0u);
+  // Shared variable: sequential path (p binds it, q must see it).
+  RunResult r2 = run("g(X) :- f(X, X). " + std::string(src), "g(V).", 2);
+  ASSERT_TRUE(r2.success);
+  EXPECT_EQ(binding(r2, "V"), "1");
+  EXPECT_EQ(r2.stats.parcalls, 0u);
+}
+
+TEST(Parallel, FailingParallelGoalFailsParcall) {
+  const char* src =
+      "a :- p & q. "
+      "p. "
+      "q :- fail.";
+  RunResult r = run(src, "a.", 4);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Parallel, FailurePropagatesToAlternativeClause) {
+  const char* src =
+      "a(R) :- mk(X), p(X) & q(X, R). "
+      "mk(1). mk(2). "
+      "p(2). "
+      "q(X, R) :- R is X * 10.";
+  // First mk(1): p(1) fails in parallel; backtrack to mk(2); succeed.
+  RunResult r = run(src, "a(R).", 4);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "R"), "20");
+}
+
+TEST(Parallel, FailureUndoesParallelBindings) {
+  const char* src =
+      "a(Out) :- gen(V), w1(V) & w2(V), Out = V. "
+      "gen(x1). gen(x2). "
+      "w1(_). "
+      "w2(x2).";
+  RunResult r = run(src, "a(O).", 4);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "O"), "x2");
+}
+
+TEST(Parallel, SlowSiblingIsKilledOnFailure) {
+  // w2 fails fast, w1 does a long computation: the kill must stop w1.
+  const char* src =
+      "a :- w1(18) & w2. "
+      "w1(0) :- !. "
+      "w1(N) :- N1 is N - 1, w1(N1), w1(N1), fail. "  // huge search
+      "w1(N) :- N > 0. "
+      "w2 :- fail.";
+  RunResult r = run(src, "a.", 2);
+  EXPECT_FALSE(r.success);
+  EXPECT_GT(r.stats.kills, 0u);
+}
+
+TEST(Parallel, NestedParcalls) {
+  const char* src =
+      "top(R) :- l(A) & r(B), R is A + B. "
+      "l(R) :- p(X) & q(Y), R is X + Y. "
+      "r(R) :- p(X) & q(Y), R is X * Y. "
+      "p(3). q(4).";
+  for (unsigned pes : {1u, 2u, 4u, 8u}) {
+    RunResult r = run(src, "top(R).", pes);
+    ASSERT_TRUE(r.success) << pes;
+    EXPECT_EQ(binding(r, "R"), "19") << pes;
+  }
+}
+
+TEST(Parallel, ThreeWayParcall) {
+  const char* src =
+      "a(X,Y,Z) :- p(X) & q(Y) & r(Z). "
+      "p(1). q(2). r(3).";
+  RunResult r = run(src, "a(X,Y,Z).", 3);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "X"), "1");
+  EXPECT_EQ(binding(r, "Y"), "2");
+  EXPECT_EQ(binding(r, "Z"), "3");
+}
+
+TEST(Parallel, SharedOpenTailQsortStyle) {
+  // Non-strict independence: both goals see R1; only one binds it.
+  const char* src =
+      "a(R) :- build(R, R1) & closetail(R1). "
+      "build([a|T], T). "
+      "closetail([]).";
+  RunResult r = run(src, "a(R).", 2);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "R"), "[a]");
+}
+
+TEST(Parallel, WorkRefsCloseToSequentialOnOnePE) {
+  // RAP-WAM on 1 PE should do only slightly more work than plain WAM.
+  BenchProgram bp = bench_program("deriv", BenchScale::Small);
+  Program prog1;
+  prog1.consult(bp.source);
+  MachineConfig cfg1;
+  cfg1.num_pes = 1;
+  Machine m1(prog1, cfg1);
+  RunResult rap = m1.solve(bp.goal + ".");
+
+  Program prog2;
+  prog2.consult(bp.source);
+  MachineConfig cfg2;
+  cfg2.num_pes = 1;
+  cfg2.strip_cge = true;
+  Machine m2(prog2, cfg2);
+  RunResult wam = m2.solve(bp.goal + ".");
+
+  ASSERT_TRUE(rap.success && wam.success);
+  double ratio = static_cast<double>(rap.stats.work_refs()) /
+                 static_cast<double>(wam.stats.work_refs());
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.8);  // parallelism management overhead is bounded
+}
+
+TEST(Parallel, BenchmarksMatchSequentialAnswers) {
+  for (const std::string& name : small_bench_names()) {
+    BenchProgram bp = bench_program(name, BenchScale::Small);
+    Program sp;
+    sp.consult(bp.source);
+    MachineConfig scfg;
+    scfg.num_pes = 1;
+    scfg.strip_cge = true;
+    Machine sm(sp, scfg);
+    RunResult seq = sm.solve(bp.goal + ".");
+    ASSERT_TRUE(seq.success) << name;
+
+    for (unsigned pes : {2u, 8u}) {
+      Program pp;
+      pp.consult(bp.source);
+      MachineConfig pcfg;
+      pcfg.num_pes = pes;
+      Machine pm(pp, pcfg);
+      RunResult par = pm.solve(bp.goal + ".");
+      ASSERT_TRUE(par.success) << name << " on " << pes;
+      ASSERT_EQ(par.solutions.size(), seq.solutions.size()) << name;
+      for (std::size_t i = 0; i < seq.solutions[0].bindings.size(); ++i) {
+        EXPECT_EQ(par.solutions[0].bindings[i].second,
+                  seq.solutions[0].bindings[i].second)
+            << name << " var " << seq.solutions[0].bindings[i].first;
+      }
+    }
+  }
+}
+
+TEST(Parallel, DeterministicAcrossRuns) {
+  RunResult a = run(kFib, "fib(13, F).", 4);
+  RunResult b = run(kFib, "fib(13, F).", 4);
+  EXPECT_EQ(a.stats.instructions, b.stats.instructions);
+  EXPECT_EQ(a.stats.refs.total, b.stats.refs.total);
+  EXPECT_EQ(a.stats.goals_stolen, b.stats.goals_stolen);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+}
+
+TEST(Parallel, CutAfterParcall) {
+  const char* src =
+      "a(R) :- p(X) & q(Y), !, R is X + Y. "
+      "a(0). "
+      "p(1). q(2).";
+  RunResult r = run(src, "a(R).", 2, false, 5);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(binding(r, "R"), "3");
+}
+
+TEST(Parallel, InlineGoalAlternativesAreReentrant) {
+  // The first parallel goal runs inline on the parent, so its choice
+  // points remain visible: outside backtracking re-enters them exactly
+  // as in sequential execution.
+  const char* src =
+      "a(X) :- p(X) & q, r(X). "
+      "p(1). p(2). "
+      "q. "
+      "r(2).";
+  RunResult r = run(src, "a(X).", 2, false, 5);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "X"), "2");
+}
+
+TEST(Parallel, PushedGoalAlternativesAreNotReentrant) {
+  // Documented first-solution semantics for *pushed* goals: outside
+  // backtracking cancels their sections instead of re-entering them
+  // (kill-and-fail; see DESIGN.md §5).
+  const char* src =
+      "a(X) :- q & p(X), r(X). "
+      "p(1). p(2). "
+      "q. "
+      "r(2).";
+  RunResult r = run(src, "a(X).", 2, false, 5);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Parallel, SequentialSemanticsPreservedByStripMode) {
+  const char* src =
+      "a(X) :- p(X) & q, r(X). "
+      "p(1). p(2). "
+      "q. "
+      "r(2).";
+  RunResult r = run(src, "a(X).", 1, /*strip=*/true, 5);
+  ASSERT_TRUE(r.success);  // plain WAM explores p's alternatives
+  EXPECT_EQ(binding(r, "X"), "2");
+}
+
+TEST(Parallel, ManyPEsIdleWithoutWork) {
+  RunResult r = run("a(1).", "a(X).", 16);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "X"), "1");
+}
+
+TEST(Parallel, GoalStackHighWaterTracked) {
+  RunResult r = run(kFib, "fib(12, F).", 4);
+  EXPECT_GT(r.stats.goals_pushed, 0u);
+  EXPECT_EQ(r.stats.goals_pushed, r.stats.goals_local + r.stats.goals_stolen);
+}
+
+}  // namespace
+}  // namespace rapwam

@@ -1,0 +1,135 @@
+// Reader tests: operator precedence, lists, CGE syntax, variable
+// scoping.
+#include <gtest/gtest.h>
+
+#include "prolog/program.h"
+
+namespace rapwam {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Program prog;
+  std::string parse1(const std::string& src) {
+    return prog.terms().to_string(prog.parse_goal(src));
+  }
+};
+
+TEST_F(ParserTest, AtomsIntsVars) {
+  EXPECT_EQ(parse1("foo."), "foo");
+  EXPECT_EQ(parse1("42."), "42");
+  EXPECT_EQ(parse1("X."), "_X");
+}
+
+TEST_F(ParserTest, CompoundTerms) {
+  EXPECT_EQ(parse1("f(a,b)."), "f(a,b)");
+  EXPECT_EQ(parse1("f(g(X),h(X))."), "f(g(_X),h(_X))");
+}
+
+TEST_F(ParserTest, OperatorPrecedence) {
+  EXPECT_EQ(parse1("1+2*3."), "+(1,*(2,3))");
+  EXPECT_EQ(parse1("(1+2)*3."), "*(+(1,2),3)");
+  EXPECT_EQ(parse1("1+2+3."), "+(+(1,2),3)");  // yfx: left assoc
+  EXPECT_EQ(parse1("a,b,c."), ",(a,,(b,c))");  // xfy: right assoc
+}
+
+TEST_F(ParserTest, ClauseNeck) {
+  EXPECT_EQ(parse1("a :- b, c."), ":-(a,,(b,c))");
+}
+
+TEST_F(ParserTest, Comparison) {
+  EXPECT_EQ(parse1("X is Y + 1."), "is(_X,+(_Y,1))");
+  EXPECT_EQ(parse1("X =< Y."), "=<(_X,_Y)");
+}
+
+TEST_F(ParserTest, Lists) {
+  EXPECT_EQ(parse1("[]."), "[]");
+  EXPECT_EQ(parse1("[1,2,3]."), "[1,2,3]");
+  EXPECT_EQ(parse1("[H|T]."), "[_H|_T]");
+  EXPECT_EQ(parse1("[a,b|T]."), "[a,b|_T]");
+  EXPECT_EQ(parse1("[[1],[2]]."), "[[1],[2]]");
+}
+
+TEST_F(ParserTest, NegativeNumbers) {
+  EXPECT_EQ(parse1("-5."), "-5");
+  EXPECT_EQ(parse1("f(-3)."), "f(-3)");
+  EXPECT_EQ(parse1("1 - 2."), "-(1,2)");
+}
+
+TEST_F(ParserTest, PrefixMinusOnTerm) {
+  EXPECT_EQ(parse1("-X."), "-(_X)");
+  EXPECT_EQ(parse1("- (a)."), "-(a)");
+}
+
+TEST_F(ParserTest, ParallelConjunction) {
+  EXPECT_EQ(parse1("a & b & c."), "&(a,&(b,c))");
+}
+
+TEST_F(ParserTest, CGEConditionBar) {
+  // (ground(X) | p(X) & q(X))
+  EXPECT_EQ(parse1("(ground(X) | p(X) & q(X))."),
+            "|(ground(_X),&(p(_X),q(_X)))");
+  EXPECT_EQ(parse1("(indep(X,Z), ground(Y) | g(X,Y) & h(Y,Z))."),
+            "|(,(indep(_X,_Z),ground(_Y)),&(g(_X,_Y),h(_Y,_Z)))");
+}
+
+TEST_F(ParserTest, BarInListIsTailOnly) {
+  EXPECT_EQ(parse1("[X|Y]."), "[_X|_Y]");
+}
+
+TEST_F(ParserTest, IfThenElse) {
+  EXPECT_EQ(parse1("(a -> b ; c)."), ";(->(a,b),c)");
+}
+
+TEST_F(ParserTest, NegationAsFailure) {
+  EXPECT_EQ(parse1("\\+ a."), "\\+(a)");
+}
+
+TEST_F(ParserTest, VarScopingWithinClause) {
+  const Term* t = prog.parse_goal("f(X, X, Y).");
+  EXPECT_EQ(t->args[0], t->args[1]);
+  EXPECT_NE(t->args[0], t->args[2]);
+}
+
+TEST_F(ParserTest, AnonymousVarsAreFresh) {
+  const Term* t = prog.parse_goal("f(_, _).");
+  EXPECT_NE(t->args[0], t->args[1]);
+}
+
+TEST_F(ParserTest, ProgramParsesMultipleClauses) {
+  prog.consult("a. b :- a. c(X) :- b, d(X).");
+  EXPECT_TRUE(prog.defines(prog.pred_id("a", 0)));
+  EXPECT_TRUE(prog.defines(prog.pred_id("b", 0)));
+  EXPECT_TRUE(prog.defines(prog.pred_id("c", 1)));
+  EXPECT_EQ(prog.clauses_of(prog.pred_id("c", 1)).size(), 1u);
+}
+
+TEST_F(ParserTest, FactAndRuleBodies) {
+  prog.consult("p(1). p(2) :- q.");
+  const auto& cs = prog.clauses_of(prog.pred_id("p", 1));
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].body, nullptr);
+  EXPECT_NE(cs[1].body, nullptr);
+}
+
+TEST_F(ParserTest, SyntaxErrorsThrow) {
+  EXPECT_THROW(parse1("f(."), Error);
+  EXPECT_THROW(parse1("f(a"), Error);
+  EXPECT_THROW(parse1("f(a))."), Error);
+  EXPECT_THROW(prog.consult("a :- b"), Error);  // missing period
+}
+
+TEST_F(ParserTest, DirectivesRejected) {
+  EXPECT_THROW(prog.consult(":- initialization(x)."), Error);
+}
+
+TEST_F(ParserTest, QuotedAtomsAsFunctors) {
+  EXPECT_EQ(parse1("'my pred'(a)."), "my pred(a)");
+}
+
+TEST_F(ParserTest, XfxDoesNotChain) {
+  EXPECT_THROW(parse1("a = b = c."), Error);
+}
+
+}  // namespace
+}  // namespace rapwam

@@ -1,0 +1,96 @@
+// Bus contention model tests: limiting cases, monotonicity properties,
+// saturation behaviour.
+#include <gtest/gtest.h>
+
+#include "cache/queueing.h"
+
+namespace rapwam {
+namespace {
+
+BusParams fast() { return BusParams{0.25}; }
+BusParams slow() { return BusParams{2.0}; }
+
+TEST(BusModel, NoTrafficMeansFullEfficiency) {
+  BusEstimate e = bus_contention(16, 0.0, fast());
+  EXPECT_DOUBLE_EQ(e.pe_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(e.aggregate_speedup, 16.0);
+}
+
+TEST(BusModel, FreeBusMeansFullEfficiency) {
+  BusEstimate e = bus_contention(16, 0.5, BusParams{0.0});
+  EXPECT_DOUBLE_EQ(e.pe_efficiency, 1.0);
+}
+
+TEST(BusModel, SinglePELosesOnlyServiceTime) {
+  // One PE never queues behind anyone; the only cost is the bus
+  // transfer itself: E = 1 / (1 + t*s) approximately (self-queueing is
+  // second-order).
+  BusEstimate e = bus_contention(1, 0.2, BusParams{1.0});
+  EXPECT_NEAR(e.pe_efficiency, 1.0 / 1.2, 0.03);
+}
+
+TEST(BusModel, EfficiencyDecreasesWithPEs) {
+  double prev = 2.0;
+  for (unsigned pes : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    BusEstimate e = bus_contention(pes, 0.2, fast());
+    EXPECT_LT(e.pe_efficiency, prev) << pes;
+    prev = e.pe_efficiency;
+  }
+}
+
+TEST(BusModel, SpeedupStillGrowsUntilSaturation) {
+  double prev = 0.0;
+  for (unsigned pes : {1u, 2u, 4u, 8u}) {
+    BusEstimate e = bus_contention(pes, 0.15, fast());
+    EXPECT_GT(e.aggregate_speedup, prev) << pes;
+    prev = e.aggregate_speedup;
+  }
+}
+
+TEST(BusModel, EfficiencyDecreasesWithTraffic) {
+  double prev = 2.0;
+  for (double t : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    BusEstimate e = bus_contention(8, t, fast());
+    EXPECT_LT(e.pe_efficiency, prev) << t;
+    prev = e.pe_efficiency;
+  }
+}
+
+TEST(BusModel, SaturationCapsThroughput) {
+  // Far beyond saturation the bus serves 1/(t*s) references/cycle in
+  // total no matter how many PEs push.
+  BusEstimate e = bus_contention(64, 0.5, slow());
+  double bus_limit = 1.0 / (0.5 * 2.0);
+  EXPECT_LE(e.aggregate_speedup, bus_limit * 1.05);
+  EXPECT_GT(e.utilization, 0.95);
+}
+
+TEST(BusModel, PaperScenarioHighEfficiency) {
+  // The paper's §3.3 claim: with caches capturing >70% of traffic and a
+  // fast interleaved bus, 8 PEs run at high shared-memory efficiency.
+  BusEstimate e = bus_contention(8, 0.18, BusParams{0.25});
+  EXPECT_GT(e.pe_efficiency, 0.9);
+  EXPECT_GT(e.aggregate_speedup, 7.0);
+}
+
+TEST(BusModel, WriteThroughScenarioDegrades) {
+  // Same machine, write-through traffic (~0.65): efficiency collapses.
+  BusEstimate wt = bus_contention(8, 0.65, BusParams{0.25});
+  BusEstimate bc = bus_contention(8, 0.18, BusParams{0.25});
+  EXPECT_LT(wt.pe_efficiency, bc.pe_efficiency - 0.1);
+}
+
+TEST(BusModel, ConvergesQuickly) {
+  BusEstimate e = bus_contention(32, 0.3, slow());
+  EXPECT_LT(e.iterations, 5000);
+  EXPECT_GT(e.pe_efficiency, 0.0);
+  EXPECT_LE(e.pe_efficiency, 1.0);
+}
+
+TEST(BusModel, RejectsNegativeInputs) {
+  EXPECT_THROW(bus_contention(4, -0.1, fast()), Error);
+  EXPECT_THROW(bus_contention(4, 0.1, BusParams{-1.0}), Error);
+}
+
+}  // namespace
+}  // namespace rapwam

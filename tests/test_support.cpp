@@ -1,0 +1,92 @@
+// Unit tests for the support library: interner, stats, table, CLI,
+// thread pool.
+#include <gtest/gtest.h>
+
+#include "support/cli.h"
+#include "support/interner.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "support/thread_pool.h"
+
+namespace rapwam {
+namespace {
+
+TEST(Interner, AssignsDenseIdsAndRoundTrips) {
+  Interner in;
+  u32 a = in.intern("foo");
+  u32 b = in.intern("bar");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.intern("foo"), a);
+  EXPECT_EQ(in.name(a), "foo");
+  EXPECT_EQ(in.name(b), "bar");
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(Interner, ContainsDoesNotCreate) {
+  Interner in;
+  EXPECT_FALSE(in.contains("x"));
+  in.intern("x");
+  EXPECT_TRUE(in.contains("x"));
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(Interner, NameOutOfRangeThrows) {
+  Interner in;
+  EXPECT_THROW(in.name(0), Error);
+}
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+}
+
+TEST(Stats, Formatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.5, 1), "50.0%");
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t("title");
+  t.header({"a", "bbbb"});
+  t.row({"xxx", "y"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("xxx"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  TextTable t;
+  t.header({"a", "b"});
+  t.row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--n", "5", "pos1", "--k=v", "--flag"};
+  Cli cli(6, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 5);
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_EQ(cli.get("k", ""), "v");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futs[static_cast<size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, DefaultSizeNonZero) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rapwam

@@ -1,0 +1,152 @@
+// Trace infrastructure tests: packed record edge cases, sinks,
+// busy-only filtering, file round trips and error handling, and
+// consistency between engine counters and emitted traces.
+#include <gtest/gtest.h>
+
+#include "engine/machine.h"
+#include "harness/runner.h"
+
+namespace rapwam {
+namespace {
+
+TEST(MemRefPacking, EdgeValues) {
+  MemRef r;
+  r.addr = (u64(1) << 40) - 1;  // max encodable address
+  r.pe = 63;
+  r.cls = ObjClass::Message;    // highest class id in Table 1
+  r.write = true;
+  r.busy = true;
+  MemRef q = MemRef::unpack(r.pack());
+  EXPECT_EQ(q.addr, r.addr);
+  EXPECT_EQ(q.pe, r.pe);
+  EXPECT_EQ(q.cls, r.cls);
+  EXPECT_TRUE(q.write);
+  EXPECT_TRUE(q.busy);
+
+  MemRef zero;
+  EXPECT_EQ(MemRef::unpack(zero.pack()).addr, 0u);
+}
+
+TEST(MemRefPacking, AllClassesSurvive) {
+  for (std::size_t c = 0; c < kObjClassCount; ++c) {
+    MemRef r;
+    r.cls = static_cast<ObjClass>(c);
+    EXPECT_EQ(MemRef::unpack(r.pack()).cls, r.cls);
+  }
+}
+
+TEST(Sinks, CountingSinkAggregates) {
+  CountingSink s;
+  MemRef r;
+  r.cls = ObjClass::TrailEntry;
+  r.busy = true;
+  for (int i = 0; i < 5; ++i) s.on_ref(r);
+  r.write = true;
+  r.busy = false;
+  s.on_ref(r);
+  EXPECT_EQ(s.counts().total, 6u);
+  EXPECT_EQ(s.counts().writes, 1u);
+  EXPECT_EQ(s.counts().busy, 5u);
+  EXPECT_EQ(s.counts().by_area[static_cast<size_t>(Area::Trail)], 6u);
+}
+
+TEST(Sinks, TraceBufferBusyFilter) {
+  TraceBuffer busy_only(true);
+  TraceBuffer everything(false);
+  MemRef r;
+  r.busy = true;
+  busy_only.on_ref(r);
+  everything.on_ref(r);
+  r.busy = false;
+  busy_only.on_ref(r);
+  everything.on_ref(r);
+  EXPECT_EQ(busy_only.size(), 1u);
+  EXPECT_EQ(everything.size(), 2u);
+  EXPECT_EQ(busy_only.counts().total, 2u);  // counters see everything
+}
+
+TEST(Sinks, TraceBufferClear) {
+  TraceBuffer b;
+  MemRef r;
+  b.on_ref(r);
+  b.clear();
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.counts().total, 0u);
+}
+
+TEST(TraceFiles, RoundTripAndErrors) {
+  std::vector<u64> data = {1, 2, 3, 0xFFFFFFFFFFFFFFFFull};
+  std::string path = ::testing::TempDir() + "/t.trc";
+  save_trace(data, path);
+  EXPECT_EQ(load_trace(path), data);
+  save_trace({}, path);  // empty trace is fine
+  EXPECT_TRUE(load_trace(path).empty());
+  EXPECT_THROW(load_trace("/nonexistent/dir/x.trc"), Error);
+  EXPECT_THROW(save_trace(data, "/nonexistent/dir/x.trc"), Error);
+}
+
+TEST(EngineTracing, EveryAreaTaggedConsistently) {
+  // Replay a parallel run and verify every reference's address maps to
+  // the area its Table-1 class claims.
+  BenchRun r = run_parallel(bench_program("qsort", BenchScale::Small), 4, true);
+  Layout lay(4, bench_area_sizes());
+  for (std::size_t i = 0; i < r.trace->size(); ++i) {
+    MemRef m = r.trace->at(i);
+    Area by_addr = lay.area_of(m.addr);
+    Area by_class = traits_of(m.cls).area;
+    ASSERT_EQ(by_addr, by_class)
+        << "ref " << i << " class " << obj_class_name(m.cls) << " addr " << m.addr;
+  }
+}
+
+TEST(EngineTracing, BusyRefsComeFromRunningWorkers) {
+  BenchRun r = run_parallel(bench_program("deriv", BenchScale::Small), 2, true);
+  // The busy-only trace is exactly the "work" counter (Figure 2).
+  EXPECT_EQ(r.trace->size(), r.result.stats.work_refs());
+  EXPECT_GT(r.result.stats.refs.total, r.result.stats.work_refs());
+}
+
+TEST(EngineTracing, SequentialRunTouchesNoParallelAreas) {
+  BenchRun r = run_wam(bench_program("deriv", BenchScale::Small), true);
+  const RefCounts& c = r.trace->counts();
+  EXPECT_EQ(c.by_area[static_cast<size_t>(Area::GoalStack)], 0u);
+  EXPECT_EQ(c.by_area[static_cast<size_t>(Area::MsgBuffer)], 0u);
+  EXPECT_EQ(c.by_class[static_cast<size_t>(ObjClass::Marker)], 0u);
+  EXPECT_EQ(c.by_class[static_cast<size_t>(ObjClass::ParcallCount)], 0u);
+}
+
+TEST(EngineTracing, KillsProduceMessageTraffic) {
+  const char* src =
+      "a :- slow & fast. "
+      "slow :- burn(12). "
+      "burn(0) :- !. "
+      "burn(N) :- N1 is N - 1, burn(N1), burn(N1). "
+      "fast :- fail.";
+  Program prog;
+  prog.consult(src);
+  MachineConfig cfg;
+  cfg.num_pes = 2;
+  Machine m(prog, cfg);
+  TraceBuffer buf(false);
+  RunResult r = m.solve("a.", &buf);
+  EXPECT_FALSE(r.success);
+  if (r.stats.kills > 0) {
+    EXPECT_GT(buf.counts().by_area[static_cast<size_t>(Area::MsgBuffer)], 0u);
+  }
+}
+
+TEST(EngineTracing, PerPECountsSumToTotal) {
+  BenchRun r = run_parallel(bench_program("tak", BenchScale::Small), 4, true);
+  const RefCounts& c = r.trace->counts();
+  u64 sum = 0;
+  for (u64 n : c.by_pe) sum += n;
+  EXPECT_EQ(sum, c.total);
+  // More than one PE actually issued references.
+  int active = 0;
+  for (u64 n : c.by_pe)
+    if (n) ++active;
+  EXPECT_GT(active, 1);
+}
+
+}  // namespace
+}  // namespace rapwam

@@ -1,0 +1,193 @@
+// Dedicated unification tests: binding direction safety, trailing,
+// deep and wide terms, PDL behaviour, and unification across parallel
+// heaps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/machine.h"
+
+namespace rapwam {
+namespace {
+
+struct Env {
+  Program prog;
+  std::unique_ptr<Machine> m;
+  explicit Env(const std::string& src = "eq(X, X).", unsigned pes = 1,
+               unsigned max_sols = 1) {
+    prog.consult(src);
+    MachineConfig cfg;
+    cfg.num_pes = pes;
+    cfg.max_solutions = max_sols;
+    m = std::make_unique<Machine>(prog, cfg);
+  }
+  RunResult run(const std::string& goal) { return m->solve(goal); }
+};
+
+std::string binding(const RunResult& r, const std::string& var) {
+  for (auto& [n, v] : r.solutions.at(0).bindings)
+    if (n == var) return v;
+  return "<unbound?>";
+}
+
+std::string deep_term(int depth) {
+  std::string s = "leaf";
+  for (int i = 0; i < depth; ++i) s = "n(" + s + ")";
+  return s;
+}
+
+TEST(Unify, AtomsAndIntegers) {
+  Env e;
+  EXPECT_TRUE(e.run("eq(a, a).").success);
+  EXPECT_FALSE(e.run("eq(a, b).").success);
+  EXPECT_TRUE(e.run("eq(5, 5).").success);
+  EXPECT_FALSE(e.run("eq(5, 6).").success);
+  EXPECT_FALSE(e.run("eq(5, a).").success);
+  EXPECT_FALSE(e.run("eq(5, f(5)).").success);
+}
+
+TEST(Unify, VarVarChains) {
+  Env e;
+  RunResult r = e.run("eq(A, B), eq(B, C), eq(C, 7).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "A"), "7");
+  EXPECT_EQ(binding(r, "B"), "7");
+  EXPECT_EQ(binding(r, "C"), "7");
+}
+
+TEST(Unify, StructuresRecursively) {
+  Env e;
+  EXPECT_TRUE(e.run("eq(f(g(1), h(2)), f(g(1), h(2))).").success);
+  EXPECT_FALSE(e.run("eq(f(g(1), h(2)), f(g(1), h(3))).").success);
+  EXPECT_FALSE(e.run("eq(f(1), f(1, 2)).").success);
+  EXPECT_FALSE(e.run("eq(f(1), g(1)).").success);
+}
+
+TEST(Unify, PartialInstantiationBothDirections) {
+  Env e;
+  RunResult r = e.run("eq(f(X, 2), f(1, Y)).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "X"), "1");
+  EXPECT_EQ(binding(r, "Y"), "2");
+}
+
+TEST(Unify, SharedSubterms) {
+  Env e;
+  RunResult r = e.run("eq(f(X, X), f(g(Y), g(3))).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "X"), "g(3)");
+  EXPECT_EQ(binding(r, "Y"), "3");
+}
+
+TEST(Unify, DisagreementDeepInside) {
+  Env e;
+  EXPECT_FALSE(e.run("eq(f(g(h(i(1)))), f(g(h(i(2))))).").success);
+}
+
+TEST(Unify, DeepTerms) {
+  Env e;
+  std::string t = deep_term(150);
+  EXPECT_TRUE(e.run("eq(" + t + ", " + t + ").").success);
+  // Same depth, different leaf.
+  std::string t2 = deep_term(150);
+  t2.replace(t2.find("leaf"), 4, "lief");
+  EXPECT_FALSE(e.run("eq(" + t + ", " + t2 + ").").success);
+}
+
+TEST(Unify, WideTerms) {
+  Env e;
+  std::ostringstream a, b;
+  a << "f(";
+  b << "f(";
+  for (int i = 0; i < 200; ++i) {
+    if (i) { a << ","; b << ","; }
+    a << i;
+    b << i;
+  }
+  a << ")";
+  b << ")";
+  EXPECT_TRUE(e.run("eq(" + a.str() + ", " + b.str() + ").").success);
+}
+
+TEST(Unify, LongLists) {
+  Env e;
+  std::ostringstream l;
+  l << "[";
+  for (int i = 0; i < 500; ++i) {
+    if (i) l << ",";
+    l << i;
+  }
+  l << "]";
+  EXPECT_TRUE(e.run("eq(" + l.str() + ", " + l.str() + ").").success);
+  RunResult r = e.run("eq(" + l.str() + ", L).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "L").substr(0, 8), "[0,1,2,3");
+}
+
+TEST(Unify, PartialListsUnify) {
+  Env e;
+  RunResult r = e.run("eq([1,2|T], [1,2,3,4]).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "T"), "[3,4]");
+}
+
+TEST(Unify, FailureUndoesAllBindings) {
+  // First clause binds deep into the term then fails at the end; the
+  // retry must see pristine variables.
+  Env e(
+      "u(X, Y) :- X = f(1, 2, 3), Y = g(X), fail. "
+      "u(X, Y) :- X = none, Y = none.");
+  RunResult r = e.run("u(A, B).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "A"), "none");
+  EXPECT_EQ(binding(r, "B"), "none");
+}
+
+TEST(Unify, TrailOnlyConditionalBindings) {
+  // Bindings newer than the newest choice point need no trail entries;
+  // a deterministic run should trail almost nothing.
+  Env e("mk(f(A, B, C)) :- A = 1, B = 2, C = 3.");
+  RunResult r = e.run("mk(T).");
+  ASSERT_TRUE(r.success);
+  EXPECT_LT(r.stats.refs.by_area[static_cast<size_t>(Area::Trail)], 8u);
+}
+
+TEST(Unify, PdlHandlesWideStructures) {
+  Env e;
+  // Unifying two wide identical structures exercises the PDL.
+  std::ostringstream t;
+  t << "f(";
+  for (int i = 0; i < 100; ++i) {
+    if (i) t << ",";
+    t << "g(" << i << ", h(" << i << "))";
+  }
+  t << ")";
+  RunResult r = e.run("eq(" + t.str() + ", " + t.str() + ").");
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.stats.refs.by_area[static_cast<size_t>(Area::Pdl)], 0u);
+}
+
+TEST(Unify, AcrossParallelHeaps) {
+  // Results produced on different PEs' heaps unify with each other.
+  const char* src =
+      "go(R) :- mk(1, A) & mk(2, B), A = f(N1, T1), B = f(N2, T2), "
+      "         T1 = T2, R is N1 + N2. "
+      "mk(N, f(N, _)).";
+  Env e(src, 4);
+  RunResult r = e.run("go(R).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "R"), "3");
+}
+
+TEST(Unify, OutputsBuiltOnDifferentPEsCompareEqual) {
+  const char* src =
+      "both(L) :- build(L1) & build(L2), L1 == L2, L = L1. "
+      "build([a, f(1), [2, 3]]).";
+  Env e(src, 2);
+  RunResult r = e.run("both(L).");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding(r, "L"), "[a,f(1),[2,3]]");
+}
+
+}  // namespace
+}  // namespace rapwam

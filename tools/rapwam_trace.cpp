@@ -1,0 +1,143 @@
+// rapwam_trace — record, inspect and replay memory-reference traces.
+//
+//   rapwam_trace record --bench qsort --pes 4 --out qsort4.trc [--scale paper]
+//   rapwam_trace stats  qsort4.trc [--pes 4]
+//   rapwam_trace replay qsort4.trc --protocol broadcast --size 1024 [--pes 4]
+//   rapwam_trace dump   qsort4.trc [--head 20]
+//
+// Traces are the 8-byte packed records of src/trace/memref.h.
+#include <cstdio>
+#include <string>
+
+#include "cache/multisim.h"
+#include "harness/runner.h"
+#include "support/cli.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+using namespace rapwam;
+
+namespace {
+
+Protocol parse_protocol(const std::string& s) {
+  if (s == "write-thru" || s == "wt") return Protocol::WriteThrough;
+  if (s == "broadcast" || s == "write-in") return Protocol::WriteInBroadcast;
+  if (s == "update" || s == "write-update") return Protocol::WriteThroughBroadcast;
+  if (s == "hybrid") return Protocol::Hybrid;
+  if (s == "copyback") return Protocol::Copyback;
+  fail("unknown protocol: " + s +
+       " (write-thru|broadcast|update|hybrid|copyback)");
+}
+
+unsigned pes_in_trace(const std::vector<u64>& t) {
+  unsigned maxpe = 0;
+  for (u64 p : t) maxpe = std::max(maxpe, unsigned(MemRef::unpack(p).pe));
+  return maxpe + 1;
+}
+
+int cmd_record(const Cli& cli) {
+  std::string bench = cli.get("bench", "qsort");
+  unsigned pes = static_cast<unsigned>(cli.get_int("pes", 4));
+  std::string out = cli.get("out", bench + ".trc");
+  BenchScale scale = cli.get("scale", "small") == "paper" ? BenchScale::Paper
+                                                          : BenchScale::Small;
+  BenchRun r = run_parallel(bench_program(bench, scale), pes, /*want_trace=*/true);
+  save_trace(r.trace->packed(), out);
+  std::printf("wrote %zu references to %s\n", r.trace->size(), out.c_str());
+  return 0;
+}
+
+int cmd_stats(const Cli& cli) {
+  std::vector<u64> t = load_trace(cli.positional().at(1));
+  RefCounts c;
+  for (u64 p : t) c.add(MemRef::unpack(p));
+  std::printf("references: %llu  (reads %llu / writes %llu)\n",
+              (unsigned long long)c.total, (unsigned long long)c.reads,
+              (unsigned long long)c.writes);
+  TextTable by_area("by area");
+  by_area.header({"area", "refs", "share"});
+  for (std::size_t a = 0; a < kAreaCount; ++a) {
+    if (!c.by_area[a]) continue;
+    by_area.row({std::string(area_name(static_cast<Area>(a))),
+                 std::to_string(c.by_area[a]),
+                 fmt_pct(double(c.by_area[a]) / double(c.total), 1)});
+  }
+  std::fputs(by_area.str().c_str(), stdout);
+  TextTable by_class("by object class (Table 1)");
+  by_class.header({"class", "refs", "locality"});
+  for (std::size_t k = 0; k < kObjClassCount; ++k) {
+    if (!c.by_class[k]) continue;
+    ObjClass oc = static_cast<ObjClass>(k);
+    by_class.row({std::string(obj_class_name(oc)), std::to_string(c.by_class[k]),
+                  std::string(locality_name(traits_of(oc).locality))});
+  }
+  std::fputs(by_class.str().c_str(), stdout);
+  std::printf("PEs present: %u\n", pes_in_trace(t));
+  return 0;
+}
+
+int cmd_replay(const Cli& cli) {
+  std::vector<u64> t = load_trace(cli.positional().at(1));
+  CacheConfig cfg;
+  cfg.protocol = parse_protocol(cli.get("protocol", "broadcast"));
+  cfg.size_words = static_cast<u32>(cli.get_int("size", 1024));
+  cfg.line_words = static_cast<u32>(cli.get_int("line", 4));
+  cfg.ways = static_cast<u32>(cli.get_int("ways", 0));
+  cfg.write_allocate =
+      cli.has("no-allocate") ? false : paper_write_allocate(cfg.protocol, cfg.size_words);
+  unsigned pes = static_cast<unsigned>(cli.get_int("pes", pes_in_trace(t)));
+  MultiCacheSim sim(cfg, pes);
+  sim.replay(t);
+  const TrafficStats& s = sim.stats();
+  std::printf("%s, %u words, %u-word lines, %s, %u PEs\n",
+              protocol_name(cfg.protocol).c_str(), cfg.size_words, cfg.line_words,
+              cfg.write_allocate ? "write-allocate" : "no-write-allocate", pes);
+  std::printf("  traffic ratio  %.4f\n", s.traffic_ratio());
+  std::printf("  miss ratio     %.4f\n", s.miss_ratio());
+  std::printf("  bus words      %llu  (fetch %llu, writeback %llu, through %llu,\n"
+              "                  invalidations %llu, updates %llu, flush %llu)\n",
+              (unsigned long long)s.bus_words, (unsigned long long)s.fetch_words,
+              (unsigned long long)s.writeback_words,
+              (unsigned long long)s.writethrough_words,
+              (unsigned long long)s.invalidations, (unsigned long long)s.update_words,
+              (unsigned long long)s.flush_words);
+  if (s.coherence_violations)
+    std::printf("  COHERENCE VIOLATIONS: %llu\n",
+                (unsigned long long)s.coherence_violations);
+  return 0;
+}
+
+int cmd_dump(const Cli& cli) {
+  std::vector<u64> t = load_trace(cli.positional().at(1));
+  i64 head = cli.get_int("head", 20);
+  for (i64 i = 0; i < head && i < static_cast<i64>(t.size()); ++i) {
+    MemRef r = MemRef::unpack(t[static_cast<std::size_t>(i)]);
+    std::printf("%6lld  pe%-2u %c %-18s %#llx\n", (long long)i, unsigned(r.pe),
+                r.write ? 'W' : 'R',
+                std::string(obj_class_name(r.cls)).c_str(),
+                (unsigned long long)r.addr);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  try {
+    if (cli.positional().empty()) {
+      std::puts("usage: rapwam_trace record|stats|replay|dump ... (see source header)");
+      return 2;
+    }
+    const std::string& cmd = cli.positional()[0];
+    if (cmd == "record") return cmd_record(cli);
+    if (cmd == "stats") return cmd_stats(cli);
+    if (cmd == "replay") return cmd_replay(cli);
+    if (cmd == "dump") return cmd_dump(cli);
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
