@@ -1,4 +1,4 @@
-// Ablation studies for the design choices DESIGN.md calls out:
+// Ablation studies for the design choices docs/DESIGN.md calls out:
 //   A. cache line size (the paper fixes 4 words — how sensitive?)
 //   B. write-allocate policy across cache sizes (the paper's
 //      no-write-allocate-for-small-caches rule)

@@ -1,35 +1,135 @@
-// google-benchmark micro-benchmarks of the multiprocessor cache
-// simulator (host throughput per protocol; governs Figure-4 sweep
-// time).
+// Micro-benchmarks of the multiprocessor cache simulator (host
+// throughput per protocol; governs Figure-4 sweep time).
+//
+// Two parts:
+//   1. A JSON harness that times the directory-based MultiCacheSim
+//      against the retained naive broadcast-snoop ReferenceCacheSim on
+//      the same trace, per protocol and PE count, and writes the
+//      results to BENCH_cache.json (override with --json-out=PATH,
+//      disable with --no-json) so the perf trajectory is tracked
+//      across PRs. The harness takes ~a minute, so it only runs on a
+//      bare invocation (no flags at all) or when --json-out is given
+//      explicitly — iterating on one micro-benchmark, or asking for
+//      --help, never pays for it.
+//   2. The google-benchmark registrations (BM_*), run afterwards with
+//      the usual --benchmark_* flags.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "cache/multisim.h"
+#include "cache/refsim.h"
 #include "harness/runner.h"
 
 namespace {
 
 using namespace rapwam;
 
-const std::vector<u64>& shared_trace() {
-  static std::vector<u64> t = [] {
-    BenchRun r = run_parallel(bench_program("qsort", BenchScale::Small), 4,
+const std::vector<u64>& shared_trace(unsigned pes) {
+  static std::vector<std::vector<u64>> traces(65);  // sim supports <= 64 PEs
+  if (traces.at(pes).empty()) {
+    BenchRun r = run_parallel(bench_program("qsort", BenchScale::Small), pes,
                               /*want_trace=*/true);
-    return r.trace->packed();
-  }();
-  return t;
+    traces[pes] = r.trace->packed();
+  }
+  return traces[pes];
 }
+
+CacheConfig bench_cfg(Protocol p) {
+  CacheConfig cfg;
+  cfg.protocol = p;
+  cfg.size_words = 1024;
+  cfg.line_words = 4;
+  cfg.write_allocate = true;
+  return cfg;
+}
+
+// --- part 1: JSON comparison harness --------------------------------------
+
+/// Replays `trace` through fresh simulators until >= `min_seconds` of
+/// wall time has elapsed; returns the best per-replay seconds over
+/// three such trials (sim construction included, as in a real sweep)
+/// plus the deterministic TrafficStats of one replay.
+struct Timed {
+  double seconds = 0;
+  TrafficStats stats;
+};
+template <typename Sim>
+Timed time_replay(const CacheConfig& cfg, unsigned pes,
+                  const std::vector<u64>& trace, double min_seconds = 0.1) {
+  Timed out;
+  out.seconds = 1e300;
+  for (int trial = 0; trial < 3; ++trial) {
+    int reps = 0;
+    double elapsed = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    do {
+      Sim sim(cfg, pes);
+      sim.replay(trace);
+      benchmark::DoNotOptimize(sim.stats().bus_words);
+      out.stats = sim.stats();
+      ++reps;
+      elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    } while (elapsed < min_seconds);
+    out.seconds = std::min(out.seconds, elapsed / reps);
+  }
+  return out;
+}
+
+void emit_json(const std::string& path) {
+  const Protocol protos[] = {Protocol::WriteThrough, Protocol::WriteInBroadcast,
+                             Protocol::WriteThroughBroadcast, Protocol::Hybrid,
+                             Protocol::Copyback};
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_micro_cache: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"cache_replay\",\n  \"trace\": \"qsort/small\",\n");
+  std::fprintf(f, "  \"cache_words\": 1024,\n  \"line_words\": 4,\n  \"points\": [\n");
+  bool first = true;
+  for (unsigned pes : {1u, 2u, 4u, 8u, 16u}) {
+    const std::vector<u64>& trace = shared_trace(pes);
+    for (Protocol p : protos) {
+      CacheConfig cfg = bench_cfg(p);
+      Timed fast = time_replay<MultiCacheSim>(cfg, pes, trace);
+      Timed naive = time_replay<ReferenceCacheSim>(cfg, pes, trace);
+      double refs_per_sec = static_cast<double>(trace.size()) / fast.seconds;
+      double naive_refs_per_sec = static_cast<double>(trace.size()) / naive.seconds;
+      std::fprintf(f,
+                   "%s    {\"protocol\": \"%s\", \"pes\": %u, \"refs\": %zu, "
+                   "\"refs_per_sec\": %.0f, \"naive_refs_per_sec\": %.0f, "
+                   "\"speedup\": %.2f, \"traffic_ratio\": %.4f, \"miss_ratio\": %.4f}",
+                   first ? "" : ",\n", protocol_name(p).c_str(), pes, trace.size(),
+                   refs_per_sec, naive_refs_per_sec, refs_per_sec / naive_refs_per_sec,
+                   fast.stats.traffic_ratio(), fast.stats.miss_ratio());
+      first = false;
+      std::printf("%-22s %2u PEs  %7.2f Mrefs/s (naive %6.2f, %.2fx)\n",
+                  protocol_name(p).c_str(), pes, refs_per_sec / 1e6,
+                  naive_refs_per_sec / 1e6, refs_per_sec / naive_refs_per_sec);
+      std::fflush(stdout);
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// --- part 2: google-benchmark registrations -------------------------------
 
 void BM_Replay(benchmark::State& state) {
   Protocol p = static_cast<Protocol>(state.range(0));
-  const std::vector<u64>& t = shared_trace();
+  unsigned pes = static_cast<unsigned>(state.range(1));
+  const std::vector<u64>& t = shared_trace(pes);
   u64 refs = 0;
   for (auto _ : state) {
-    CacheConfig cfg;
-    cfg.protocol = p;
-    cfg.size_words = 1024;
-    cfg.line_words = 4;
-    cfg.write_allocate = true;
-    MultiCacheSim sim(cfg, 4);
+    MultiCacheSim sim(bench_cfg(p), pes);
     sim.replay(t);
     refs += sim.stats().refs;
     benchmark::DoNotOptimize(sim.stats().bus_words);
@@ -38,11 +138,32 @@ void BM_Replay(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(refs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Replay)
-    ->Arg(static_cast<int>(Protocol::WriteThrough))
-    ->Arg(static_cast<int>(Protocol::WriteInBroadcast))
-    ->Arg(static_cast<int>(Protocol::WriteThroughBroadcast))
-    ->Arg(static_cast<int>(Protocol::Hybrid))
-    ->Arg(static_cast<int>(Protocol::Copyback));
+    ->Args({static_cast<int>(Protocol::WriteThrough), 4})
+    ->Args({static_cast<int>(Protocol::WriteInBroadcast), 4})
+    ->Args({static_cast<int>(Protocol::WriteThroughBroadcast), 4})
+    ->Args({static_cast<int>(Protocol::Hybrid), 4})
+    ->Args({static_cast<int>(Protocol::Copyback), 4})
+    ->Args({static_cast<int>(Protocol::WriteInBroadcast), 8})
+    ->Args({static_cast<int>(Protocol::WriteInBroadcast), 16});
+
+void BM_ReplayNaive(benchmark::State& state) {
+  Protocol p = static_cast<Protocol>(state.range(0));
+  unsigned pes = static_cast<unsigned>(state.range(1));
+  const std::vector<u64>& t = shared_trace(pes);
+  u64 refs = 0;
+  for (auto _ : state) {
+    ReferenceCacheSim sim(bench_cfg(p), pes);
+    sim.replay(t);
+    refs += sim.stats().refs;
+    benchmark::DoNotOptimize(sim.stats().bus_words);
+  }
+  state.counters["refs/s"] =
+      benchmark::Counter(static_cast<double>(refs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReplayNaive)
+    ->Args({static_cast<int>(Protocol::WriteInBroadcast), 4})
+    ->Args({static_cast<int>(Protocol::WriteInBroadcast), 8})
+    ->Args({static_cast<int>(Protocol::WriteInBroadcast), 16});
 
 void BM_LruLookup(benchmark::State& state) {
   CacheConfig cfg;
@@ -59,4 +180,19 @@ BENCHMARK(BM_LruLookup)->Arg(256)->Arg(2048)->Arg(8192);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_cache.json";
+  bool json_requested = false, no_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_path = argv[i] + 11;
+      json_requested = true;
+    }
+    if (std::strcmp(argv[i], "--no-json") == 0) no_json = true;
+  }
+  if (!no_json && (json_requested || argc == 1)) emit_json(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

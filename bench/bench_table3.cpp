@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
       "\nPaper:  size   Etr     sigma    z(deriv)  z(tak)  z(qsort)  mean|z|\n"
       "        512    0.164   0.0626   1.1       -1.9    0.83      1.3\n"
       "        1024   0.108   0.0569   2.0       -1.1    1.6       1.6\n"
-      "(Large suite substituted — see DESIGN.md §4; compare magnitudes of\n"
+      "(Large suite substituted — see docs/DESIGN.md §4; compare magnitudes of\n"
       "z-scores: |z| of order 1-2 means the small kernels' sequential\n"
       "locality is typical of larger programs.)");
   return 0;

@@ -15,6 +15,10 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   std::string bench = cli.get("bench", "qsort");
   unsigned pes = static_cast<unsigned>(cli.get_int("pes", 4));
+  if (pes < 1 || pes > 64) {
+    std::fprintf(stderr, "error: --pes must be 1..64 (directory holder masks)\n");
+    return 1;
+  }
   u32 line = static_cast<u32>(cli.get_int("line", 4));
   BenchScale scale = cli.get("scale", "small") == "paper" ? BenchScale::Paper
                                                           : BenchScale::Small;

@@ -1,47 +1,96 @@
 #include "cache/cache.h"
 
+#include <algorithm>
+#include <bit>
+
 namespace rapwam {
 
-Line* Cache::lookup(u64 tag) {
-  Set& st = sets_[set_of(tag)];
-  auto it = st.map.find(tag);
-  if (it == st.map.end()) return nullptr;
-  st.lru.splice(st.lru.begin(), st.lru, it->second);  // move to front
-  return &*it->second;
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  fa_ = cfg.fully_associative();
+  u32 nsets = fa_ ? 1 : cfg.num_sets();
+  set_cap_ = fa_ ? cfg.num_lines() : cfg.ways;
+  if (nsets == 0) nsets = 1;
+  if (set_cap_ == 0) set_cap_ = 1;
+  slots_.resize(static_cast<std::size_t>(nsets) * set_cap_);
+  sets_.resize(nsets);
+  for (u32 s = 0; s < nsets; ++s) {
+    u32 base = s * set_cap_;
+    sets_[s].free = base;
+    for (u32 k = 0; k < set_cap_; ++k)
+      slots_[base + k].next = (k + 1 < set_cap_) ? base + k + 1 : kNil;
+  }
+  idx_.init(slots_.size());
 }
 
-Line* Cache::probe(u64 tag) {
-  Set& st = sets_[set_of(tag)];
-  auto it = st.map.find(tag);
-  return it == st.map.end() ? nullptr : &*it->second;
+void Cache::list_unlink(SetList& s, u32 n) {
+  Slot& sl = slots_[n];
+  (sl.prev == kNil ? s.head : slots_[sl.prev].next) = sl.next;
+  (sl.next == kNil ? s.tail : slots_[sl.next].prev) = sl.prev;
+}
+
+void Cache::list_push_front(SetList& s, u32 n) {
+  slots_[n].prev = kNil;
+  slots_[n].next = s.head;
+  if (s.head != kNil)
+    slots_[s.head].prev = n;
+  else
+    s.tail = n;
+  s.head = n;
+}
+
+Line* Cache::lookup(u64 tag) {
+  const u32* p = idx_.find(tag);
+  if (!p) return nullptr;
+  u32 n = *p;
+  SetList& s = sets_[set_of(tag)];
+  if (s.head != n) {  // move to front
+    list_unlink(s, n);
+    list_push_front(s, n);
+  }
+  return &slots_[n].line;
 }
 
 Cache::Evicted Cache::insert(u64 tag, LineState state) {
-  Set& st = sets_[set_of(tag)];
-  RW_CHECK(st.map.find(tag) == st.map.end(), "cache insert of present line");
-  std::size_t capacity =
-      cfg_.fully_associative() ? cfg_.num_lines() : cfg_.ways;
+  RW_CHECK(idx_.find(tag) == nullptr, "cache insert of present line");
+  SetList& s = sets_[set_of(tag)];
   Evicted ev;
-  if (st.lru.size() >= capacity) {
+  u32 n;
+  if (s.free != kNil) {
+    n = s.free;
+    s.free = slots_[n].next;
+  } else {  // set full: displace the LRU line
+    n = s.tail;
     ev.valid = true;
-    ev.line = st.lru.back();
-    st.map.erase(st.lru.back().tag);
-    st.lru.pop_back();
+    ev.line = slots_[n].line;
+    idx_.erase(ev.line.tag);
+    list_unlink(s, n);
     --size_;
   }
-  st.lru.push_front(Line{tag, state});
-  st.map[tag] = st.lru.begin();
+  slots_[n].line = Line{tag, state};
+  list_push_front(s, n);
+  idx_.upsert(tag) = n;
   ++size_;
   return ev;
 }
 
 void Cache::invalidate(u64 tag) {
-  Set& st = sets_[set_of(tag)];
-  auto it = st.map.find(tag);
-  if (it == st.map.end()) return;
-  st.lru.erase(it->second);
-  st.map.erase(it);
+  const u32* p = idx_.find(tag);
+  if (!p) return;
+  u32 n = *p;
+  SetList& s = sets_[set_of(tag)];
+  list_unlink(s, n);
+  slots_[n].next = s.free;
+  s.free = n;
+  idx_.erase(tag);
   --size_;
+}
+
+std::vector<Line> Cache::lines() const {
+  std::vector<Line> out;
+  out.reserve(size_);
+  for (const SetList& s : sets_)
+    for (u32 n = s.head; n != kNil; n = slots_[n].next) out.push_back(slots_[n].line);
+  return out;
 }
 
 }  // namespace rapwam

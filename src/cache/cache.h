@@ -5,13 +5,23 @@
 // Lines carry a MESI-like state; the protocol logic in MultiCacheSim
 // decides transitions and bus traffic. The cache itself only manages
 // lookup, insertion and LRU eviction.
+//
+// Storage is a flat, cache-friendly layout (docs/DESIGN.md §6): all
+// Line slots live in one contiguous pool, LRU order is an intrusive
+// doubly-linked list of u32 slot indices (O(1) touch/evict), and tag
+// lookup goes through a single open-addressed hash index over the
+// whole pool (FlatTagMap: linear probing, backward-shift deletion,
+// load factor kept <= 1/2). This replaces the pointer-chasing
+// std::list + unordered_map-of-iterators structure: no per-line
+// allocation, no iterator indirection, and the hot lookup path
+// touches two small arrays. Line pointers returned by lookup/probe
+// stay valid for the life of the Cache (the pool never reallocates).
 #pragma once
 
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/config.h"
+#include "support/flat_table.h"
 
 namespace rapwam {
 
@@ -29,13 +39,20 @@ struct Line {
 
 class Cache {
  public:
-  explicit Cache(const CacheConfig& cfg)
-      : cfg_(cfg), sets_(cfg.fully_associative() ? 1 : cfg.num_sets()) {}
+  explicit Cache(const CacheConfig& cfg);
 
   /// Finds the line containing `tag`; touches LRU when found.
   Line* lookup(u64 tag);
   /// Finds without touching the LRU order (snoops from other PEs).
-  Line* probe(u64 tag);
+  /// The const overload supports read-only queries from const callers.
+  Line* probe(u64 tag) {
+    const u32* n = idx_.find(tag);
+    return n ? &slots_[*n].line : nullptr;
+  }
+  const Line* probe(u64 tag) const {
+    const u32* n = idx_.find(tag);
+    return n ? &slots_[*n].line : nullptr;
+  }
 
   /// Inserts `tag` (must not be present); returns an evicted line by
   /// value if a valid line had to be displaced.
@@ -50,25 +67,35 @@ class Cache {
   std::size_t size() const { return size_; }
   const CacheConfig& config() const { return cfg_; }
 
-  /// Snapshot of all valid lines (tests, invariant checking).
-  std::vector<Line> lines() const {
-    std::vector<Line> out;
-    out.reserve(size_);
-    for (const Set& st : sets_) out.insert(out.end(), st.lru.begin(), st.lru.end());
-    return out;
-  }
+  /// Snapshot of all valid lines (tests, invariant checking),
+  /// most-recently-used first within each set.
+  std::vector<Line> lines() const;
 
  private:
-  std::size_t set_of(u64 tag) const {
-    return cfg_.fully_associative() ? 0 : tag % cfg_.num_sets();
-  }
+  static constexpr u32 kNil = 0xFFFFFFFFu;
 
-  struct Set {
-    std::list<Line> lru;  // front = most recent
-    std::unordered_map<u64, std::list<Line>::iterator> map;
+  struct Slot {
+    Line line;
+    u32 prev = kNil;  ///< towards MRU; kNil at list head
+    u32 next = kNil;  ///< towards LRU; doubles as free-list link
   };
+  struct SetList {
+    u32 head = kNil;  ///< most recently used
+    u32 tail = kNil;  ///< least recently used (eviction victim)
+    u32 free = kNil;  ///< singly-linked free slots (via Slot::next)
+  };
+
+  std::size_t set_of(u64 tag) const { return fa_ ? 0 : tag % sets_.size(); }
+
+  void list_unlink(SetList& s, u32 n);
+  void list_push_front(SetList& s, u32 n);
+
   CacheConfig cfg_;
-  std::vector<Set> sets_;
+  bool fa_ = true;          ///< fully associative (single set)
+  u32 set_cap_ = 0;         ///< line slots per set
+  std::vector<Slot> slots_; ///< contiguous pool: set s owns [s*cap, (s+1)*cap)
+  std::vector<SetList> sets_;
+  FlatTagMap<u32> idx_;     ///< tag -> slot index over the whole pool
   std::size_t size_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "cache/multisim.h"
 
+#include <bit>
 #include <unordered_map>
 
 namespace rapwam {
@@ -18,44 +19,102 @@ std::string protocol_name(Protocol p) {
 MultiCacheSim::MultiCacheSim(const CacheConfig& cfg, unsigned num_pes) : cfg_(cfg) {
   RW_CHECK(cfg.line_words > 0 && cfg.size_words % cfg.line_words == 0,
            "cache size must be a multiple of the line size");
+  RW_CHECK(num_pes >= 1 && num_pes <= 64,
+           "directory holder masks support 1..64 PEs");
+  coherent_ = cfg.protocol != Protocol::Copyback;
   caches_.reserve(num_pes);
   for (unsigned i = 0; i < num_pes; ++i) caches_.emplace_back(cfg);
+  if (coherent_) dir_.init(u64(num_pes) * cfg.num_lines());
 }
 
+// --- sharing directory ----------------------------------------------------
+
 bool MultiCacheSim::others_hold(unsigned pe, u64 tag) const {
-  for (unsigned i = 0; i < caches_.size(); ++i) {
-    if (i == pe) continue;
-    if (const_cast<Cache&>(caches_[i]).probe(tag)) return true;
-  }
-  return false;
+  const DirEntry* e = dir_.find(tag);
+  return e && (e->holders & ~bit(pe)) != 0;
 }
 
 int MultiCacheSim::dirty_holder(unsigned pe, u64 tag) const {
-  for (unsigned i = 0; i < caches_.size(); ++i) {
-    if (i == pe) continue;
-    Line* l = const_cast<Cache&>(caches_[i]).probe(tag);
-    if (l && l->state == LineState::Dirty) return static_cast<int>(i);
-  }
-  return -1;
+  const DirEntry* e = dir_.find(tag);
+  if (!e) return -1;
+  u64 m = e->dirty & ~bit(pe);
+  return m ? std::countr_zero(m) : -1;
 }
 
 void MultiCacheSim::invalidate_others(unsigned pe, u64 tag) {
-  for (unsigned i = 0; i < caches_.size(); ++i) {
-    if (i != pe) caches_[i].invalidate(tag);
+  DirEntry* e = dir_.find(tag);
+  if (!e) return;
+  u64 m = e->holders & ~bit(pe);
+  while (m) {
+    unsigned i = static_cast<unsigned>(std::countr_zero(m));
+    m &= m - 1;
+    caches_[i].invalidate(tag);
   }
+  e->holders &= bit(pe);
+  e->dirty &= bit(pe);
+  e->excl &= bit(pe);
+  if (!e->holders) dir_.erase(tag);
 }
 
-void MultiCacheSim::demote_exclusive_others(unsigned pe, u64 tag) {
-  for (unsigned i = 0; i < caches_.size(); ++i) {
-    if (i == pe) continue;
-    Line* l = caches_[i].probe(tag);
-    if (l && l->state == LineState::Exclusive) l->state = LineState::Shared;
+bool MultiCacheSim::broadcast_miss_supply(unsigned pe, u64 tag) {
+  DirEntry* e = dir_.find(tag);
+  u64 b = bit(pe);
+  if (!e) {
+    stats_.fetch_words += L();
+    stats_.bus_words += L();
+    return false;
   }
+  u64 dm = e->dirty & ~b;
+  if (dm) {
+    // Owner supplies the line and keeps a shared (clean) copy; memory
+    // is updated by the same transaction.
+    unsigned dh = static_cast<unsigned>(std::countr_zero(dm));
+    caches_[dh].probe(tag)->state = LineState::Shared;
+    e->dirty &= ~bit(dh);
+    stats_.flush_words += L();
+    stats_.bus_words += L();
+  } else {
+    stats_.fetch_words += L();
+    stats_.bus_words += L();
+  }
+  u64 xm = e->excl & ~b;
+  while (xm) {
+    unsigned i = static_cast<unsigned>(std::countr_zero(xm));
+    xm &= xm - 1;
+    caches_[i].probe(tag)->state = LineState::Shared;
+  }
+  e->excl &= b;
+  return (e->holders & ~b) != 0;
+}
+
+void MultiCacheSim::dir_remove(unsigned pe, u64 tag) {
+  DirEntry* e = dir_.find(tag);
+  if (!e) return;
+  u64 keep = ~bit(pe);
+  e->holders &= keep;
+  e->dirty &= keep;
+  e->excl &= keep;
+  if (!e->holders) dir_.erase(tag);
+}
+
+void MultiCacheSim::set_state(unsigned pe, Line* l, LineState st) {
+  l->state = st;
+  if (!coherent_) return;
+  dir_set_state_bits(dir_.upsert(l->tag), bit(pe), st);
 }
 
 /// Inserts a line, accounting a dirty eviction if one falls out.
 void MultiCacheSim::fill(unsigned pe, u64 tag, LineState st) {
   auto ev = caches_[pe].insert(tag, st);
+  if (coherent_) {
+    // Order matters: removing the evicted tag first can backward-shift
+    // other entries, so the upsert of `tag` must come after it.
+    if (ev.valid) dir_remove(pe, ev.line.tag);
+    DirEntry& e = dir_.upsert(tag);
+    u64 b = bit(pe);
+    e.holders |= b;
+    dir_set_state_bits(e, b, st);
+  }
   if (ev.valid && ev.line.state == LineState::Dirty) {
     stats_.writeback_words += L();
     stats_.bus_words += L();
@@ -63,8 +122,7 @@ void MultiCacheSim::fill(unsigned pe, u64 tag, LineState st) {
 }
 
 void MultiCacheSim::access(const MemRef& r) {
-  ++stats_.refs;
-  if (r.write) ++stats_.writes; else ++stats_.reads;
+  count_ref(r);
   switch (cfg_.protocol) {
     case Protocol::WriteThrough: access_write_through(r); break;
     case Protocol::Copyback: access_copyback(r); break;
@@ -74,8 +132,33 @@ void MultiCacheSim::access(const MemRef& r) {
   }
 }
 
-void MultiCacheSim::replay(const std::vector<u64>& packed) {
-  for (u64 p : packed) access(MemRef::unpack(p));
+template <void (MultiCacheSim::*Handler)(const MemRef&)>
+void MultiCacheSim::replay_loop(const u64* packed, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    MemRef r = MemRef::unpack(packed[i]);
+    count_ref(r);
+    (this->*Handler)(r);
+  }
+}
+
+void MultiCacheSim::replay(const u64* packed, std::size_t n) {
+  switch (cfg_.protocol) {
+    case Protocol::WriteThrough:
+      replay_loop<&MultiCacheSim::access_write_through>(packed, n);
+      break;
+    case Protocol::Copyback:
+      replay_loop<&MultiCacheSim::access_copyback>(packed, n);
+      break;
+    case Protocol::WriteInBroadcast:
+      replay_loop<&MultiCacheSim::access_write_in_broadcast>(packed, n);
+      break;
+    case Protocol::WriteThroughBroadcast:
+      replay_loop<&MultiCacheSim::access_write_update_broadcast>(packed, n);
+      break;
+    case Protocol::Hybrid:
+      replay_loop<&MultiCacheSim::access_hybrid>(packed, n);
+      break;
+  }
 }
 
 bool MultiCacheSim::invariants_ok() const {
@@ -97,6 +180,28 @@ bool MultiCacheSim::invariants_ok() const {
     if (holders[tag] > 1) return false;  // exclusive implies sole holder
   }
   return true;
+}
+
+bool MultiCacheSim::directory_consistent() const {
+  if (!coherent_) return dir_.size() == 0;
+  std::unordered_map<u64, DirEntry> want;
+  for (unsigned pe = 0; pe < caches_.size(); ++pe) {
+    for (const Line& l : caches_[pe].lines()) {
+      DirEntry& e = want[l.tag];
+      e.holders |= bit(pe);
+      if (l.state == LineState::Dirty) e.dirty |= bit(pe);
+      if (l.state == LineState::Exclusive) e.excl |= bit(pe);
+    }
+  }
+  if (want.size() != dir_.size()) return false;
+  bool ok = true;
+  dir_.for_each([&](u64 tag, const DirEntry& d) {
+    auto it = want.find(tag);
+    if (it == want.end() || it->second.holders != d.holders ||
+        it->second.dirty != d.dirty || it->second.excl != d.excl)
+      ok = false;
+  });
+  return ok;
 }
 
 // --- conventional coherent write-through --------------------------------
@@ -133,7 +238,7 @@ void MultiCacheSim::access_copyback(const MemRef& r) {
   u64 tag = tag_of(r.addr);
   Line* l = c.lookup(tag);
   if (l) {
-    if (r.write) l->state = LineState::Dirty;
+    if (r.write) l->state = LineState::Dirty;  // non-coherent: no directory
     return;
   }
   ++stats_.misses;
@@ -163,20 +268,8 @@ void MultiCacheSim::access_write_in_broadcast(const MemRef& r) {
   if (!r.write) {
     if (l) return;
     ++stats_.misses;
-    int dh = dirty_holder(r.pe, tag);
-    if (dh >= 0) {
-      // Owner supplies the line and keeps a shared (clean) copy;
-      // memory is updated by the same transaction.
-      Line* ol = caches_[static_cast<unsigned>(dh)].probe(tag);
-      ol->state = LineState::Shared;
-      stats_.flush_words += L();
-      stats_.bus_words += L();
-    } else {
-      stats_.fetch_words += L();
-      stats_.bus_words += L();
-    }
-    demote_exclusive_others(r.pe, tag);
-    fill(r.pe, tag, others_hold(r.pe, tag) ? LineState::Shared : LineState::Exclusive);
+    fill(r.pe, tag,
+         broadcast_miss_supply(r.pe, tag) ? LineState::Shared : LineState::Exclusive);
     return;
   }
 
@@ -185,14 +278,14 @@ void MultiCacheSim::access_write_in_broadcast(const MemRef& r) {
       case LineState::Dirty:
         return;
       case LineState::Exclusive:
-        l->state = LineState::Dirty;
+        set_state(r.pe, l, LineState::Dirty);
         return;
       case LineState::Shared:
         // One bus word-time to broadcast the invalidation.
         stats_.invalidations += 1;
         stats_.bus_words += 1;
         invalidate_others(r.pe, tag);
-        l->state = LineState::Dirty;
+        set_state(r.pe, l, LineState::Dirty);
         return;
       case LineState::Invalid:
         break;
@@ -202,8 +295,8 @@ void MultiCacheSim::access_write_in_broadcast(const MemRef& r) {
   if (cfg_.write_allocate) {
     // Read-for-ownership: fetch the line (from a dirty owner or from
     // memory) and invalidate all other copies in the same transaction.
-    int dh = dirty_holder(r.pe, tag);
-    if (dh >= 0) {
+    DirEntry* e = dir_.find(tag);
+    if (e && (e->dirty & ~bit(r.pe))) {
       stats_.flush_words += L();
       stats_.bus_words += L();
     } else {
@@ -230,18 +323,8 @@ void MultiCacheSim::access_write_update_broadcast(const MemRef& r) {
   if (!r.write) {
     if (l) return;
     ++stats_.misses;
-    int dh = dirty_holder(r.pe, tag);
-    if (dh >= 0) {
-      Line* ol = caches_[static_cast<unsigned>(dh)].probe(tag);
-      ol->state = LineState::Shared;
-      stats_.flush_words += L();
-      stats_.bus_words += L();
-    } else {
-      stats_.fetch_words += L();
-      stats_.bus_words += L();
-    }
-    demote_exclusive_others(r.pe, tag);
-    fill(r.pe, tag, others_hold(r.pe, tag) ? LineState::Shared : LineState::Exclusive);
+    fill(r.pe, tag,
+         broadcast_miss_supply(r.pe, tag) ? LineState::Shared : LineState::Exclusive);
     return;
   }
 
@@ -252,27 +335,16 @@ void MultiCacheSim::access_write_update_broadcast(const MemRef& r) {
         stats_.update_words += 1;
         stats_.bus_words += 1;
       } else {
-        l->state = LineState::Dirty;  // last sharer: private again
+        set_state(r.pe, l, LineState::Dirty);  // last sharer: private again
       }
       return;
     }
-    l->state = LineState::Dirty;
+    set_state(r.pe, l, LineState::Dirty);
     return;
   }
   ++stats_.misses;
   if (cfg_.write_allocate) {
-    int dh = dirty_holder(r.pe, tag);
-    if (dh >= 0) {
-      Line* ol = caches_[static_cast<unsigned>(dh)].probe(tag);
-      ol->state = LineState::Shared;
-      stats_.flush_words += L();
-      stats_.bus_words += L();
-    } else {
-      stats_.fetch_words += L();
-      stats_.bus_words += L();
-    }
-    demote_exclusive_others(r.pe, tag);
-    bool shared = others_hold(r.pe, tag);
+    bool shared = broadcast_miss_supply(r.pe, tag);
     fill(r.pe, tag, shared ? LineState::Shared : LineState::Dirty);
     if (shared) {
       stats_.update_words += 1;
@@ -328,7 +400,7 @@ void MultiCacheSim::access_hybrid(const MemRef& r) {
   // same line) are harmless.
   if (dirty_holder(r.pe, tag) >= 0) ++stats_.coherence_violations;
   if (l) {
-    l->state = LineState::Dirty;
+    set_state(r.pe, l, LineState::Dirty);
     return;
   }
   ++stats_.misses;

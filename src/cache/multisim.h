@@ -4,11 +4,23 @@
 // one cache per PE and accounts bus traffic in words, per the paper's
 // metric: traffic ratio = words moved on the bus / words demanded by
 // the processors. Implements the five protocols of §3.1.
+//
+// Coherence bookkeeping is directory-based (docs/DESIGN.md §6): a
+// single hash table maps each cached line tag to a packed entry of
+// three 64-bit per-PE masks (holders / dirty owners / exclusive
+// owners). Snoop queries that used to broadcast-probe every other
+// PE's cache — others_hold, dirty_holder, invalidate_others, and the
+// miss-supply transaction (dirty-owner flush + exclusive demotion) —
+// are O(1) bit operations on that entry, independent of the PE count,
+// and invalidations walk only the actual holder set. A cross-checked
+// naive broadcast implementation is retained in cache/refsim.h for
+// differential testing.
 #pragma once
 
 #include <vector>
 
 #include "cache/cache.h"
+#include "support/flat_table.h"
 #include "trace/tracebuf.h"
 
 namespace rapwam {
@@ -33,6 +45,8 @@ struct TrafficStats {
   double miss_ratio() const {
     return refs ? static_cast<double>(misses) / static_cast<double>(refs) : 0.0;
   }
+
+  friend bool operator==(const TrafficStats&, const TrafficStats&) = default;
 };
 
 class MultiCacheSim {
@@ -40,7 +54,11 @@ class MultiCacheSim {
   MultiCacheSim(const CacheConfig& cfg, unsigned num_pes);
 
   void access(const MemRef& r);
-  void replay(const std::vector<u64>& packed);
+  /// Batched fast path: dispatches on the protocol once and replays
+  /// the packed stream through the selected handler (no per-reference
+  /// protocol switch; references are unpacked once, in place).
+  void replay(const u64* packed, std::size_t n);
+  void replay(const std::vector<u64>& packed) { replay(packed.data(), packed.size()); }
 
   const TrafficStats& stats() const { return stats_; }
   const CacheConfig& config() const { return cfg_; }
@@ -49,19 +67,53 @@ class MultiCacheSim {
 
   /// Protocol coherence invariants (tests): at most one Dirty holder
   /// per line, and a Dirty/Exclusive line has no other holders.
+  /// Computed from the cache contents alone, independent of the
+  /// directory, so it double-checks directory-driven transitions.
   bool invariants_ok() const;
 
+  /// Directory/cache cross-check (tests): the sharing directory's
+  /// masks must exactly mirror the lines each cache holds.
+  bool directory_consistent() const;
+
  private:
+  /// One sharing-directory entry, keyed by line tag. Bit i of each
+  /// mask refers to PE i (hence the <= 64 PEs limit).
+  struct DirEntry {
+    u64 holders = 0;  ///< PEs with the line in any valid state
+    u64 dirty = 0;    ///< PEs holding it Dirty
+    u64 excl = 0;     ///< PEs holding it Exclusive
+  };
+
+  static u64 bit(unsigned pe) { return u64(1) << pe; }
   u64 tag_of(u64 addr) const { return addr / cfg_.line_words; }
   u64 L() const { return cfg_.line_words; }
-  /// True if any cache other than `pe` holds the tag; optionally
-  /// invalidates them / reports a dirty holder.
+
+  /// Shared per-reference preamble of access() and replay_loop().
+  void count_ref(const MemRef& r) {
+    RW_CHECK(r.pe < caches_.size(), "trace reference PE id >= simulator PE count");
+    ++stats_.refs;
+    if (r.write) ++stats_.writes; else ++stats_.reads;
+  }
+
+  /// Mirrors PE `b`'s line state into a directory entry's masks.
+  static void dir_set_state_bits(DirEntry& e, u64 b, LineState st) {
+    e.dirty = (st == LineState::Dirty) ? (e.dirty | b) : (e.dirty & ~b);
+    e.excl = (st == LineState::Exclusive) ? (e.excl | b) : (e.excl & ~b);
+  }
+
+  /// True if any cache other than `pe` holds the tag.
   bool others_hold(unsigned pe, u64 tag) const;
   int dirty_holder(unsigned pe, u64 tag) const;  // -1 if none
   void invalidate_others(unsigned pe, u64 tag);
-  /// Remote Exclusive copies become Shared when `pe` obtains a copy.
-  void demote_exclusive_others(unsigned pe, u64 tag);
+  /// Broadcast-protocol miss transaction, one directory find: a dirty
+  /// owner supplies the line (L flush words, owner demoted to Shared)
+  /// or memory does (L fetch words), remote Exclusive copies become
+  /// Shared. Returns true if other caches still hold the line.
+  bool broadcast_miss_supply(unsigned pe, u64 tag);
   void fill(unsigned pe, u64 tag, LineState st);
+  /// State transition on a held line, mirrored into the directory.
+  void set_state(unsigned pe, Line* l, LineState st);
+  void dir_remove(unsigned pe, u64 tag);
 
   void access_write_through(const MemRef& r);
   void access_copyback(const MemRef& r);
@@ -69,8 +121,17 @@ class MultiCacheSim {
   void access_write_update_broadcast(const MemRef& r);
   void access_hybrid(const MemRef& r);
 
+  template <void (MultiCacheSim::*Handler)(const MemRef&)>
+  void replay_loop(const u64* packed, std::size_t n);
+
   CacheConfig cfg_;
+  bool coherent_ = true;  ///< false for Copyback: no directory upkeep
   std::vector<Cache> caches_;
+  /// The sharing directory: tag -> DirEntry, sized once to 2x the
+  /// total line capacity of all caches (the number of distinct tags
+  /// simultaneously cached is bounded by the number of line slots),
+  /// so it never rehashes and stays at most half full.
+  FlatTagMap<DirEntry> dir_;
   TrafficStats stats_;
 };
 

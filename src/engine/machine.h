@@ -14,7 +14,7 @@
 // stacks. Failure of a parallel goal kills its siblings via
 // message-buffer kill messages; backtracking past a completed parcall
 // cancels and unwinds all its stack sections ("kill-and-fail",
-// first-solution parcall semantics — see DESIGN.md §5). Cancellation
+// first-solution parcall semantics — see docs/DESIGN.md §5). Cancellation
 // transactions run synchronously inside the simulator but every memory
 // touch is attributed to the PE that would perform it.
 #pragma once

@@ -11,7 +11,7 @@
 // memory touch is attributed to the PE that performs it in the real
 // protocol (kill messages to the executor's message buffer, unwinding
 // paid by the executor), but virtual time does not advance inside the
-// transaction. See DESIGN.md §5.
+// transaction. See docs/DESIGN.md §5.
 #include "engine/machine.h"
 
 #include <algorithm>

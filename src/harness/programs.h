@@ -1,7 +1,7 @@
 // The paper's benchmark programs, written in annotated (CGE) Prolog,
 // plus deterministic workload generators for their input data and the
 // "large sequential suite" substituted for Tick's large benchmarks in
-// Table 3 (see DESIGN.md §4).
+// Table 3 (see docs/DESIGN.md §4).
 #pragma once
 
 #include <string>

@@ -81,6 +81,8 @@ std::vector<TextTable> fig4_report(const ReportOptions& opt) {
   // Build the sweep: one simulation per (protocol, size, pes, bench).
   ThreadPool pool(opt.pool_threads);
   std::vector<SweepPoint> points;
+  points.reserve(std::size(protos) * opt.fig4_sizes.size() * opt.fig4_pes.size() *
+                 names.size());
   for (Protocol p : protos) {
     for (u32 sz : opt.fig4_sizes) {
       for (unsigned pes : opt.fig4_pes) {

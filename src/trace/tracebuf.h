@@ -49,8 +49,17 @@ class TraceBuffer : public TraceSink {
 
   void on_ref(const MemRef& r) override {
     counts_.add(r);
-    if (!busy_only_ || r.busy) packed_.push_back(r.pack());
+    if (!busy_only_ || r.busy) {
+      // Traces run to millions of refs; skip the vector's tiny first
+      // growth steps (push_back's own doubling takes over from here).
+      if (packed_.empty()) packed_.reserve(kInitialReserve);
+      packed_.push_back(r.pack());
+    }
   }
+
+  /// Pre-sizes the packed stream when the caller can estimate the
+  /// reference count (e.g. re-running a benchmark at another PE count).
+  void reserve(std::size_t refs) { packed_.reserve(refs); }
 
   const RefCounts& counts() const { return counts_; }
   const std::vector<u64>& packed() const { return packed_; }
@@ -59,6 +68,8 @@ class TraceBuffer : public TraceSink {
   void clear() { packed_.clear(); counts_ = RefCounts{}; }
 
  private:
+  static constexpr std::size_t kInitialReserve = 1 << 14;
+
   bool busy_only_;
   std::vector<u64> packed_;
   RefCounts counts_;

@@ -155,7 +155,7 @@ TEST(Control, LocalStackRecoveredOnExit) {
 TEST(Control, ControlStackReclaimedByCut) {
   // Without cut-time reclamation every neck cut leaks a choice point
   // and the control stack ratchets (this killed cache locality; see
-  // DESIGN.md §5). 10k cuts must not use 10k CPs of space.
+  // docs/DESIGN.md §5). 10k cuts must not use 10k CPs of space.
   Env e(
       "f(0) :- !. "
       "f(N) :- g(N), N1 is N - 1, f(N1). "

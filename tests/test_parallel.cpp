@@ -288,7 +288,7 @@ TEST(Parallel, InlineGoalAlternativesAreReentrant) {
 TEST(Parallel, PushedGoalAlternativesAreNotReentrant) {
   // Documented first-solution semantics for *pushed* goals: outside
   // backtracking cancels their sections instead of re-entering them
-  // (kill-and-fail; see DESIGN.md §5).
+  // (kill-and-fail; see docs/DESIGN.md §5).
   const char* src =
       "a(X) :- q & p(X), r(X). "
       "p(1). p(2). "

@@ -35,9 +35,16 @@ unsigned pes_in_trace(const std::vector<u64>& t) {
   return maxpe + 1;
 }
 
+unsigned check_pes(unsigned pes) {
+  if (pes < 1 || pes > 64)
+    fail("--pes must be 1..64 (the cache simulator's directory uses 64-bit "
+         "per-PE holder masks)");
+  return pes;
+}
+
 int cmd_record(const Cli& cli) {
   std::string bench = cli.get("bench", "qsort");
-  unsigned pes = static_cast<unsigned>(cli.get_int("pes", 4));
+  unsigned pes = check_pes(static_cast<unsigned>(cli.get_int("pes", 4)));
   std::string out = cli.get("out", bench + ".trc");
   BenchScale scale = cli.get("scale", "small") == "paper" ? BenchScale::Paper
                                                           : BenchScale::Small;
@@ -85,7 +92,8 @@ int cmd_replay(const Cli& cli) {
   cfg.ways = static_cast<u32>(cli.get_int("ways", 0));
   cfg.write_allocate =
       cli.has("no-allocate") ? false : paper_write_allocate(cfg.protocol, cfg.size_words);
-  unsigned pes = static_cast<unsigned>(cli.get_int("pes", pes_in_trace(t)));
+  unsigned pes =
+      check_pes(static_cast<unsigned>(cli.get_int("pes", pes_in_trace(t))));
   MultiCacheSim sim(cfg, pes);
   sim.replay(t);
   const TrafficStats& s = sim.stats();
