@@ -3,8 +3,9 @@
 //
 // Two parts:
 //   1. A JSON harness that times the directory-based MultiCacheSim
-//      against the retained naive broadcast-snoop ReferenceCacheSim on
-//      the same trace, per protocol and PE count, and writes the
+//      against the retained naive broadcast-snoop ReferenceCacheSim and
+//      the timed-replay engine (src/timing) on the same trace, per
+//      protocol and PE count, and writes the
 //      results to BENCH_cache.json (override with --json-out=PATH,
 //      disable with --no-json) so the perf trajectory is tracked
 //      across PRs. The harness takes ~a minute, so it only runs on a
@@ -25,6 +26,7 @@
 #include "cache/multisim.h"
 #include "cache/refsim.h"
 #include "harness/runner.h"
+#include "timing/timed_replay.h"
 
 namespace {
 
@@ -48,6 +50,17 @@ CacheConfig bench_cfg(Protocol p) {
   cfg.write_allocate = true;
   return cfg;
 }
+
+/// The standard "fast interleaved bus" timing point (s=0.5, 4-deep
+/// write buffers), adapted to time_replay's (cfg, pes) constructor so
+/// the timed engine is measured by the same harness.
+struct TimedSim {
+  TimedReplay tr;
+  TimedSim(const CacheConfig& cfg, unsigned pes)
+      : tr(cfg, pes, TimingParams{1, 1, 2, 4}) {}
+  void replay(const std::vector<u64>& t) { tr.replay(t); }
+  const TrafficStats& stats() const { return tr.traffic(); }
+};
 
 // --- part 1: JSON comparison harness --------------------------------------
 
@@ -100,19 +113,24 @@ void emit_json(const std::string& path) {
       CacheConfig cfg = bench_cfg(p);
       Timed fast = time_replay<MultiCacheSim>(cfg, pes, trace);
       Timed naive = time_replay<ReferenceCacheSim>(cfg, pes, trace);
+      Timed timed = time_replay<TimedSim>(cfg, pes, trace);
       double refs_per_sec = static_cast<double>(trace.size()) / fast.seconds;
       double naive_refs_per_sec = static_cast<double>(trace.size()) / naive.seconds;
+      double timed_refs_per_sec = static_cast<double>(trace.size()) / timed.seconds;
       std::fprintf(f,
                    "%s    {\"protocol\": \"%s\", \"pes\": %u, \"refs\": %zu, "
                    "\"refs_per_sec\": %.0f, \"naive_refs_per_sec\": %.0f, "
+                   "\"timed_refs_per_sec\": %.0f, "
                    "\"speedup\": %.2f, \"traffic_ratio\": %.4f, \"miss_ratio\": %.4f}",
                    first ? "" : ",\n", protocol_name(p).c_str(), pes, trace.size(),
-                   refs_per_sec, naive_refs_per_sec, refs_per_sec / naive_refs_per_sec,
+                   refs_per_sec, naive_refs_per_sec, timed_refs_per_sec,
+                   refs_per_sec / naive_refs_per_sec,
                    fast.stats.traffic_ratio(), fast.stats.miss_ratio());
       first = false;
-      std::printf("%-22s %2u PEs  %7.2f Mrefs/s (naive %6.2f, %.2fx)\n",
+      std::printf("%-22s %2u PEs  %7.2f Mrefs/s (naive %6.2f, %.2fx; timed %6.2f)\n",
                   protocol_name(p).c_str(), pes, refs_per_sec / 1e6,
-                  naive_refs_per_sec / 1e6, refs_per_sec / naive_refs_per_sec);
+                  naive_refs_per_sec / 1e6, refs_per_sec / naive_refs_per_sec,
+                  timed_refs_per_sec / 1e6);
       std::fflush(stdout);
     }
   }
@@ -161,6 +179,25 @@ void BM_ReplayNaive(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(refs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ReplayNaive)
+    ->Args({static_cast<int>(Protocol::WriteInBroadcast), 4})
+    ->Args({static_cast<int>(Protocol::WriteInBroadcast), 8})
+    ->Args({static_cast<int>(Protocol::WriteInBroadcast), 16});
+
+void BM_TimedReplay(benchmark::State& state) {
+  Protocol p = static_cast<Protocol>(state.range(0));
+  unsigned pes = static_cast<unsigned>(state.range(1));
+  const std::vector<u64>& t = shared_trace(pes);
+  u64 refs = 0;
+  for (auto _ : state) {
+    TimedReplay sim(bench_cfg(p), pes, TimingParams{1, 1, 2, 4});
+    sim.replay(t);
+    refs += sim.traffic().refs;
+    benchmark::DoNotOptimize(sim.timing().makespan);
+  }
+  state.counters["refs/s"] =
+      benchmark::Counter(static_cast<double>(refs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimedReplay)
     ->Args({static_cast<int>(Protocol::WriteInBroadcast), 4})
     ->Args({static_cast<int>(Protocol::WriteInBroadcast), 8})
     ->Args({static_cast<int>(Protocol::WriteInBroadcast), 16});

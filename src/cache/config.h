@@ -19,6 +19,16 @@ enum class Protocol : u8 {
 
 std::string protocol_name(Protocol p);
 
+/// Inverse of protocol_name plus the short CLI spellings used by the
+/// tools and benches ("wt", "broadcast", "update", ...). Throws on an
+/// unknown name, listing the accepted spellings.
+Protocol protocol_from_name(const std::string& s);
+
+/// Validates a PE count against the simulator's per-PE directory masks
+/// (64-bit holder masks => 1..64 PEs). Returns `pes` so call sites can
+/// validate inline.
+unsigned check_pes(unsigned pes);
+
 struct CacheConfig {
   Protocol protocol = Protocol::WriteInBroadcast;
   u32 size_words = 1024;     ///< total capacity per PE cache
@@ -43,6 +53,18 @@ struct CacheConfig {
 inline bool paper_write_allocate(Protocol p, u32 size_words) {
   u32 threshold = (p == Protocol::Hybrid) ? 1024 : 512;
   return size_words >= threshold;
+}
+
+/// The paper's standard measurement point — 4-word lines, Figure-4
+/// allocation policy — shared by the reports and benches that quote
+/// "1024-word caches" numbers.
+inline CacheConfig paper_cache_config(Protocol p, u32 size_words = 1024) {
+  CacheConfig cfg;
+  cfg.protocol = p;
+  cfg.size_words = size_words;
+  cfg.line_words = 4;
+  cfg.write_allocate = paper_write_allocate(p, size_words);
+  return cfg;
 }
 
 }  // namespace rapwam

@@ -16,6 +16,23 @@ std::string protocol_name(Protocol p) {
   return "?";
 }
 
+Protocol protocol_from_name(const std::string& s) {
+  if (s == "write-thru" || s == "wt") return Protocol::WriteThrough;
+  if (s == "broadcast" || s == "write-in") return Protocol::WriteInBroadcast;
+  if (s == "update" || s == "write-update") return Protocol::WriteThroughBroadcast;
+  if (s == "hybrid") return Protocol::Hybrid;
+  if (s == "copyback") return Protocol::Copyback;
+  fail("unknown protocol: " + s +
+       " (write-thru|broadcast|update|hybrid|copyback)");
+}
+
+unsigned check_pes(unsigned pes) {
+  if (pes < 1 || pes > 64)
+    fail("PE count must be 1..64 (the cache simulator's directory uses 64-bit "
+         "per-PE holder masks)");
+  return pes;
+}
+
 MultiCacheSim::MultiCacheSim(const CacheConfig& cfg, unsigned num_pes) : cfg_(cfg) {
   RW_CHECK(cfg.line_words > 0 && cfg.size_words % cfg.line_words == 0,
            "cache size must be a multiple of the line size");
@@ -130,6 +147,25 @@ void MultiCacheSim::access(const MemRef& r) {
     case Protocol::WriteThroughBroadcast: access_write_update_broadcast(r); break;
     case Protocol::Hybrid: access_hybrid(r); break;
   }
+}
+
+StepOutcome MultiCacheSim::step(const MemRef& r) {
+  // Every bus_words increment in the handlers is paired with exactly
+  // one component counter, so the deltas decompose the transaction.
+  const TrafficStats before = stats_;
+  access(r);
+  StepOutcome o;
+  o.miss = stats_.misses != before.misses;
+  u64 fetch = stats_.fetch_words - before.fetch_words;
+  u64 flush = stats_.flush_words - before.flush_words;
+  o.bus_words = stats_.bus_words - before.bus_words;
+  o.demand_words = fetch + flush;
+  o.posted_words = o.bus_words - o.demand_words;
+  o.invalidations = static_cast<u32>(stats_.invalidations - before.invalidations);
+  o.supplier = flush ? StepOutcome::Supplier::Cache
+                     : (fetch ? StepOutcome::Supplier::Memory
+                              : StepOutcome::Supplier::None);
+  return o;
 }
 
 template <void (MultiCacheSim::*Handler)(const MemRef&)>

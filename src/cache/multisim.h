@@ -49,11 +49,35 @@ struct TrafficStats {
   friend bool operator==(const TrafficStats&, const TrafficStats&) = default;
 };
 
+/// Outcome of one reference, reported by MultiCacheSim::step() for
+/// timing layers (src/timing) that need to know what the transaction
+/// did to the bus, not just the aggregate counters.
+struct StepOutcome {
+  /// Who supplied the line on a miss fill / read-for-ownership.
+  enum class Supplier : u8 { None, Memory, Cache };
+
+  bool miss = false;
+  Supplier supplier = Supplier::None;
+  u64 bus_words = 0;     ///< total words this reference put on the bus
+  u64 demand_words = 0;  ///< words the PE must wait for (line fetch/flush)
+  u64 posted_words = 0;  ///< fire-and-forget words: write-throughs, update
+                         ///< and invalidation broadcasts, evict writebacks
+  u32 invalidations = 0; ///< invalidation broadcasts issued
+
+  bool hit() const { return !miss; }
+};
+
 class MultiCacheSim {
  public:
   MultiCacheSim(const CacheConfig& cfg, unsigned num_pes);
 
   void access(const MemRef& r);
+  /// Per-reference step API: same transition/accounting as access(),
+  /// and additionally reports what this one reference did (hit/miss,
+  /// supplier, words the PE waits for vs. posts). TimedReplay drives
+  /// this in global trace order, so stats() after stepping a whole
+  /// trace is bit-identical to replay() of the same trace.
+  StepOutcome step(const MemRef& r);
   /// Batched fast path: dispatches on the protocol once and replays
   /// the packed stream through the selected handler (no per-reference
   /// protocol switch; references are unpacked once, in place).

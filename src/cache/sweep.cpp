@@ -21,4 +21,11 @@ std::vector<SweepResult> run_sweep(ThreadPool& pool,
   return out;
 }
 
+TrafficStats replay_traffic(const CacheConfig& cfg, unsigned num_pes,
+                            const std::vector<u64>& trace) {
+  MultiCacheSim sim(cfg, num_pes);
+  sim.replay(trace);
+  return sim.stats();
+}
+
 }  // namespace rapwam

@@ -27,4 +27,9 @@ struct SweepResult {
 /// Results are returned in input order.
 std::vector<SweepResult> run_sweep(ThreadPool& pool, const std::vector<SweepPoint>& points);
 
+/// One-point convenience used by the reports and benches: replays
+/// `trace` through a fresh simulator and returns its traffic counters.
+TrafficStats replay_traffic(const CacheConfig& cfg, unsigned num_pes,
+                            const std::vector<u64>& trace);
+
 }  // namespace rapwam

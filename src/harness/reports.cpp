@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "cache/queueing.h"
 #include "support/stats.h"
 
 namespace rapwam {
@@ -133,9 +134,7 @@ double sequential_traffic_ratio(const std::vector<u64>& trace, u32 size_words) {
   cfg.size_words = size_words;
   cfg.line_words = 4;
   cfg.write_allocate = true;
-  MultiCacheSim sim(cfg, 1);
-  sim.replay(trace);
-  return sim.stats().traffic_ratio();
+  return replay_traffic(cfg, 1, trace).traffic_ratio();
 }
 }  // namespace
 
@@ -194,14 +193,9 @@ TextTable mlips_report(const ReportOptions& opt) {
   double instr_per_li = instr / calls;
   double refs_per_instr = refs / instr;
 
-  CacheConfig cfg;
-  cfg.protocol = Protocol::WriteInBroadcast;
-  cfg.size_words = 1024;
-  cfg.line_words = 4;
-  cfg.write_allocate = true;
-  MultiCacheSim sim(cfg, 8);
-  sim.replay(trace8->packed());
-  double traffic = sim.stats().traffic_ratio();
+  double traffic = replay_traffic(paper_cache_config(Protocol::WriteInBroadcast), 8,
+                                  trace8->packed())
+                       .traffic_ratio();
 
   const double mlips = 2e6;
   double bytes_per_li = instr_per_li * refs_per_instr * 4.0;
@@ -217,6 +211,36 @@ TextTable mlips_report(const ReportOptions& opt) {
   t.row({"traffic captured by caches (paper: >70%)", fmt_pct(1.0 - traffic, 1)});
   t.row({"required bus bandwidth (paper: ~108 MB/s)", fmt(bus / 1e6, 1) + " MB/s"});
   return t;
+}
+
+std::vector<TextTable> timing_report(const ReportOptions& opt) {
+  const double s = opt.timing.effective_service();
+  std::vector<TextTable> out;
+  for (const std::string& name : small_bench_names()) {
+    TextTable t("Timed replay vs analytic M/D/1 — " + name +
+                " (write-in broadcast, 1024w, s=" + fmt(s, 2) + " cycles/word, wbuf=" +
+                std::to_string(opt.timing.write_buffer_depth) + ")");
+    t.header({"PEs", "traffic", "speedup", "efficiency", "bus util",
+              "M/D/1 speedup", "M/D/1 eff"});
+    BenchProgram bp = bench_program(name, opt.scale);
+    std::vector<std::pair<unsigned, TimingStats>> runs;
+    for (unsigned pes : opt.timing_pes) {
+      BenchRun r = run_parallel(bp, pes, /*want_trace=*/true);
+      TimedReplay tr(paper_cache_config(Protocol::WriteInBroadcast), pes, opt.timing);
+      tr.replay(r.trace->packed());
+      TimingStats ts = tr.timing();
+      runs.emplace_back(pes, ts);
+      BusEstimate e = bus_contention(pes, tr.traffic().traffic_ratio(), BusParams{s});
+      t.row({std::to_string(pes), fmt(tr.traffic().traffic_ratio(), 3),
+             fmt(ts.speedup(), 2), fmt(ts.efficiency(), 3),
+             fmt(ts.bus_utilization(), 3), fmt(e.aggregate_speedup, 2),
+             fmt(e.pe_efficiency, 3)});
+    }
+    unsigned sat = saturation_pe_count(runs);
+    t.row({"sat", sat ? std::to_string(sat) + " PEs" : "none", "", "", "", "", ""});
+    out.push_back(std::move(t));
+  }
+  return out;
 }
 
 }  // namespace rapwam

@@ -6,6 +6,7 @@
 #include "cache/sweep.h"
 #include "harness/runner.h"
 #include "support/table.h"
+#include "timing/timed_replay.h"
 
 namespace rapwam {
 
@@ -17,6 +18,11 @@ struct ReportOptions {
   std::vector<u32> fig4_sizes = {64, 128, 256, 512, 1024, 2048, 4096, 8192};
   std::vector<u32> table3_sizes = {512, 1024};
   unsigned pool_threads = 0;  ///< 0 = hardware concurrency
+  /// Timed-replay report: PE counts and the bus being modelled. The
+  /// default (1 cycle/word, 2-way interleave, 4-deep write buffers)
+  /// matches the analytic model's s=0.5 "fast interleaved bus".
+  std::vector<unsigned> timing_pes = {1, 2, 4, 8, 16};
+  TimingParams timing = {1, 1, 2, 4};
 };
 
 /// Table 1: characteristics of RAP-WAM storage objects (architectural;
@@ -43,5 +49,13 @@ TextTable table3_report(const ReportOptions& opt);
 /// §3.3: the 2-MLIPS bandwidth estimate recomputed from measured
 /// instruction/reference/traffic numbers.
 TextTable mlips_report(const ReportOptions& opt);
+
+/// Timed replay vs. the analytic M/D/1 model: for each of the four
+/// paper benchmarks, measured speedup / efficiency / bus utilization
+/// from TimedReplay next to the bus_contention() prediction at the
+/// same traffic ratio and effective service time, across
+/// `opt.timing_pes` (write-in broadcast, 1024-word caches), with the
+/// measured saturation PE count as a footer row.
+std::vector<TextTable> timing_report(const ReportOptions& opt);
 
 }  // namespace rapwam

@@ -1,5 +1,6 @@
 #include "trace/tracebuf.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
@@ -27,6 +28,12 @@ std::vector<u64> load_trace(const std::string& path) {
       std::fread(out.data(), sizeof(u64), out.size(), f.get()) != out.size())
     fail("short read from trace file: " + path);
   return out;
+}
+
+unsigned pes_in_trace(const std::vector<u64>& packed) {
+  unsigned maxpe = 0;
+  for (u64 p : packed) maxpe = std::max(maxpe, unsigned(MemRef::unpack(p).pe));
+  return maxpe + 1;
 }
 
 }  // namespace rapwam

@@ -80,4 +80,7 @@ class TraceBuffer : public TraceSink {
 void save_trace(const std::vector<u64>& packed, const std::string& path);
 std::vector<u64> load_trace(const std::string& path);
 
+/// Number of PEs a packed trace was recorded on (highest PE id + 1).
+unsigned pes_in_trace(const std::vector<u64>& packed);
+
 }  // namespace rapwam

@@ -92,5 +92,120 @@ TEST(BusModel, RejectsNegativeInputs) {
   EXPECT_THROW(bus_contention(4, 0.1, BusParams{-1.0}), Error);
 }
 
+// --- property tests over a parameter grid ----------------------------------
+
+const unsigned kPeGrid[] = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64};
+const double kTrafficGrid[] = {0.01, 0.05, 0.1, 0.2, 0.35, 0.5, 0.8, 1.2};
+const double kServiceGrid[] = {0.1, 0.25, 0.5, 1.0, 2.0};
+
+TEST(BusModelProps, EfficiencyNonIncreasingInPEs) {
+  for (double t : kTrafficGrid) {
+    for (double s : kServiceGrid) {
+      double prev = 1.0 + 1e-12;
+      for (unsigned pes : kPeGrid) {
+        BusEstimate e = bus_contention(pes, t, BusParams{s});
+        EXPECT_LE(e.pe_efficiency, prev) << pes << "/" << t << "/" << s;
+        prev = e.pe_efficiency;
+      }
+    }
+  }
+}
+
+TEST(BusModelProps, EfficiencyNonIncreasingInTraffic) {
+  for (unsigned pes : kPeGrid) {
+    for (double s : kServiceGrid) {
+      double prev = 1.0 + 1e-12;
+      for (double t : kTrafficGrid) {
+        BusEstimate e = bus_contention(pes, t, BusParams{s});
+        EXPECT_LE(e.pe_efficiency, prev) << pes << "/" << t << "/" << s;
+        prev = e.pe_efficiency;
+      }
+    }
+  }
+}
+
+TEST(BusModelProps, EfficiencyNonIncreasingInServiceTime) {
+  for (unsigned pes : kPeGrid) {
+    for (double t : kTrafficGrid) {
+      double prev = 1.0 + 1e-12;
+      for (double s : kServiceGrid) {
+        BusEstimate e = bus_contention(pes, t, BusParams{s});
+        EXPECT_LE(e.pe_efficiency, prev) << pes << "/" << t << "/" << s;
+        prev = e.pe_efficiency;
+      }
+    }
+  }
+}
+
+TEST(BusModelProps, UtilizationBoundedAndOutputsPhysical) {
+  for (unsigned pes : kPeGrid) {
+    for (double t : kTrafficGrid) {
+      for (double s : kServiceGrid) {
+        BusEstimate e = bus_contention(pes, t, BusParams{s});
+        EXPECT_GE(e.utilization, 0.0);
+        EXPECT_LE(e.utilization, 1.0);
+        EXPECT_GT(e.pe_efficiency, 0.0);
+        EXPECT_LE(e.pe_efficiency, 1.0);
+        EXPECT_LE(e.aggregate_speedup, static_cast<double>(pes) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(BusModelProps, FixedPointIsSelfConsistent) {
+  // The returned efficiency must satisfy the model's own equation:
+  // e * (1 + t*(s + wait(rho))) == 1 with rho = pes*e*t*s and the
+  // M/D/1 wait s*rho/(2*(1-rho)). This is Little's-law consistency:
+  // the issue rate the queueing delay implies is the issue rate that
+  // generated the load.
+  for (unsigned pes : kPeGrid) {
+    for (double t : kTrafficGrid) {
+      for (double s : kServiceGrid) {
+        BusEstimate e = bus_contention(pes, t, BusParams{s});
+        double rho = static_cast<double>(pes) * e.pe_efficiency * t * s;
+        if (rho >= 1.0 - 1e-9) continue;  // saturated: checked separately
+        double wait = s * rho / (2.0 * (1.0 - rho));
+        double cycles = 1.0 + t * (s + wait);
+        EXPECT_NEAR(e.pe_efficiency * cycles, 1.0, 1e-6)
+            << pes << "/" << t << "/" << s;
+        // utilization is exactly Little's law applied to the server:
+        // arrival rate (pes*e*t words/cycle) times service time.
+        EXPECT_NEAR(e.utilization, rho, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(BusModelProps, LittlesLawQueueLengthAtFixedPoint) {
+  // Mean queued words two ways: N_q = lambda * W_q (Little) and the
+  // M/D/1 closed form rho^2 / (2*(1-rho)).
+  for (unsigned pes : {4u, 8u, 16u}) {
+    for (double t : {0.1, 0.3}) {
+      for (double s : {0.25, 0.5, 1.0}) {
+        BusEstimate e = bus_contention(pes, t, BusParams{s});
+        double rho = static_cast<double>(pes) * e.pe_efficiency * t * s;
+        if (rho >= 1.0 - 1e-9) continue;
+        double lambda = static_cast<double>(pes) * e.pe_efficiency * t;
+        double wq = s * rho / (2.0 * (1.0 - rho));
+        EXPECT_NEAR(lambda * wq, rho * rho / (2.0 * (1.0 - rho)), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(BusModelProps, SaturationDrivesUtilizationToOne) {
+  // Push offered load far past the bus: rho -> 1 (like 1 - O(1/t) for
+  // the fixed point) and the aggregate speedup approaches the bus
+  // ceiling 1/(t*s) from below.
+  for (double t : {8.0, 32.0, 128.0}) {
+    BusEstimate e = bus_contention(64, t, BusParams{1.0});
+    EXPECT_GT(e.utilization, 0.98) << t;
+    EXPECT_LE(e.aggregate_speedup, 1.0 / t + 1e-9) << t;
+    EXPECT_NEAR(e.aggregate_speedup, 1.0 / t, 0.05 / t) << t;
+  }
+  EXPECT_GT(bus_contention(64, 128.0, BusParams{1.0}).utilization,
+            bus_contention(64, 8.0, BusParams{1.0}).utilization);
+}
+
 }  // namespace
 }  // namespace rapwam

@@ -1,45 +1,42 @@
-// rapwam_trace — record, inspect and replay memory-reference traces.
+// rapwam_trace — record, inspect, replay and time memory-reference
+// traces.
 //
 //   rapwam_trace record --bench qsort --pes 4 --out qsort4.trc [--scale paper]
 //   rapwam_trace stats  qsort4.trc [--pes 4]
 //   rapwam_trace replay qsort4.trc --protocol broadcast --size 1024 [--pes 4]
+//   rapwam_trace time   qsort4.trc [--service 1] [--interleave 2] [--wbuf 4]
+//                       [--cpr 1] [--protocol broadcast] [--size 1024] [--pes 4]
 //   rapwam_trace dump   qsort4.trc [--head 20]
 //
+// `time` replays through the event-driven timed engine (per-PE clocks,
+// shared bus, write buffers — docs/DESIGN.md §7) and prints measured
+// speedup/stalls next to the analytic M/D/1 prediction.
 // Traces are the 8-byte packed records of src/trace/memref.h.
 #include <cstdio>
 #include <string>
 
 #include "cache/multisim.h"
+#include "cache/queueing.h"
 #include "harness/runner.h"
 #include "support/cli.h"
 #include "support/stats.h"
 #include "support/table.h"
+#include "timing/timed_replay.h"
 
 using namespace rapwam;
 
 namespace {
 
-Protocol parse_protocol(const std::string& s) {
-  if (s == "write-thru" || s == "wt") return Protocol::WriteThrough;
-  if (s == "broadcast" || s == "write-in") return Protocol::WriteInBroadcast;
-  if (s == "update" || s == "write-update") return Protocol::WriteThroughBroadcast;
-  if (s == "hybrid") return Protocol::Hybrid;
-  if (s == "copyback") return Protocol::Copyback;
-  fail("unknown protocol: " + s +
-       " (write-thru|broadcast|update|hybrid|copyback)");
-}
-
-unsigned pes_in_trace(const std::vector<u64>& t) {
-  unsigned maxpe = 0;
-  for (u64 p : t) maxpe = std::max(maxpe, unsigned(MemRef::unpack(p).pe));
-  return maxpe + 1;
-}
-
-unsigned check_pes(unsigned pes) {
-  if (pes < 1 || pes > 64)
-    fail("--pes must be 1..64 (the cache simulator's directory uses 64-bit "
-         "per-PE holder masks)");
-  return pes;
+/// Cache geometry/protocol flags shared by `replay` and `time`.
+CacheConfig config_from_cli(const Cli& cli) {
+  CacheConfig cfg;
+  cfg.protocol = protocol_from_name(cli.get("protocol", "broadcast"));
+  cfg.size_words = static_cast<u32>(cli.get_int("size", 1024));
+  cfg.line_words = static_cast<u32>(cli.get_int("line", 4));
+  cfg.ways = static_cast<u32>(cli.get_int("ways", 0));
+  cfg.write_allocate =
+      cli.has("no-allocate") ? false : paper_write_allocate(cfg.protocol, cfg.size_words);
+  return cfg;
 }
 
 int cmd_record(const Cli& cli) {
@@ -85,13 +82,7 @@ int cmd_stats(const Cli& cli) {
 
 int cmd_replay(const Cli& cli) {
   std::vector<u64> t = load_trace(cli.positional().at(1));
-  CacheConfig cfg;
-  cfg.protocol = parse_protocol(cli.get("protocol", "broadcast"));
-  cfg.size_words = static_cast<u32>(cli.get_int("size", 1024));
-  cfg.line_words = static_cast<u32>(cli.get_int("line", 4));
-  cfg.ways = static_cast<u32>(cli.get_int("ways", 0));
-  cfg.write_allocate =
-      cli.has("no-allocate") ? false : paper_write_allocate(cfg.protocol, cfg.size_words);
+  CacheConfig cfg = config_from_cli(cli);
   unsigned pes =
       check_pes(static_cast<unsigned>(cli.get_int("pes", pes_in_trace(t))));
   MultiCacheSim sim(cfg, pes);
@@ -115,6 +106,56 @@ int cmd_replay(const Cli& cli) {
   return 0;
 }
 
+int cmd_time(const Cli& cli) {
+  std::vector<u64> t = load_trace(cli.positional().at(1));
+  CacheConfig cfg = config_from_cli(cli);
+  unsigned pes =
+      check_pes(static_cast<unsigned>(cli.get_int("pes", pes_in_trace(t))));
+  TimingParams tp;
+  tp.cycles_per_ref = static_cast<u32>(cli.get_int("cpr", 1));
+  tp.bus_service_cycles = static_cast<u32>(cli.get_int("service", 1));
+  tp.interleave = static_cast<u32>(cli.get_int("interleave", 2));
+  tp.write_buffer_depth = static_cast<u32>(cli.get_int("wbuf", 4));
+
+  TimedReplay sim(cfg, pes, tp);
+  sim.replay(t);
+  TimingStats ts = sim.timing();
+
+  std::printf("%s, %u words, %u-word lines, %u PEs; bus %u cycle(s)/word, "
+              "%u-way interleave, %u-deep write buffers\n",
+              protocol_name(cfg.protocol).c_str(), cfg.size_words, cfg.line_words,
+              pes, tp.bus_service_cycles, tp.interleave, tp.write_buffer_depth);
+  std::printf("  traffic ratio   %.4f   miss ratio %.4f\n",
+              sim.traffic().traffic_ratio(), sim.traffic().miss_ratio());
+  std::printf("  makespan        %llu cycles\n", (unsigned long long)ts.makespan);
+  std::printf("  speedup         x%.2f  (efficiency %.3f)\n", ts.speedup(),
+              ts.efficiency());
+  std::printf("  bus utilization %.3f  (%llu busy cycles, %llu transactions%s)\n",
+              ts.bus_utilization(), (unsigned long long)ts.bus_busy_cycles,
+              (unsigned long long)ts.bus_transactions,
+              ts.saturated() ? ", SATURATED" : "");
+
+  TextTable per_pe("per PE");
+  per_pe.header({"PE", "refs", "busy cycles", "stall cycles", "stall %", "retired at"});
+  for (unsigned pe = 0; pe < ts.pe.size(); ++pe) {
+    const PeTiming& p = ts.pe[pe];
+    double denom = static_cast<double>(p.busy_cycles + p.stall_cycles);
+    per_pe.row({std::to_string(pe), std::to_string(p.refs),
+                std::to_string(p.busy_cycles), std::to_string(p.stall_cycles),
+                denom > 0 ? fmt_pct(static_cast<double>(p.stall_cycles) / denom, 1)
+                          : "n/a",
+                std::to_string(p.clock)});
+  }
+  std::fputs(per_pe.str().c_str(), stdout);
+
+  BusEstimate e =
+      bus_contention(pes, sim.traffic().traffic_ratio(), BusParams{tp.effective_service()});
+  std::printf("analytic M/D/1 at the same traffic ratio: speedup x%.2f, "
+              "efficiency %.3f, utilization %.3f\n",
+              e.aggregate_speedup, e.pe_efficiency, e.utilization);
+  return 0;
+}
+
 int cmd_dump(const Cli& cli) {
   std::vector<u64> t = load_trace(cli.positional().at(1));
   i64 head = cli.get_int("head", 20);
@@ -134,13 +175,15 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   try {
     if (cli.positional().empty()) {
-      std::puts("usage: rapwam_trace record|stats|replay|dump ... (see source header)");
+      std::puts(
+          "usage: rapwam_trace record|stats|replay|time|dump ... (see source header)");
       return 2;
     }
     const std::string& cmd = cli.positional()[0];
     if (cmd == "record") return cmd_record(cli);
     if (cmd == "stats") return cmd_stats(cli);
     if (cmd == "replay") return cmd_replay(cli);
+    if (cmd == "time") return cmd_time(cli);
     if (cmd == "dump") return cmd_dump(cli);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
