@@ -6,6 +6,9 @@
 //
 //   --scale small|paper   workload size (default paper)
 //   --threads N           host threads for the sweep (default: all)
+//   --streaming           replay concurrently with generation over a
+//                         bounded chunk window (O(window) trace memory)
+//   --window N            chunks in flight in streaming mode (default 8)
 #include <cstdio>
 
 #include "harness/reports.h"
@@ -17,6 +20,8 @@ int main(int argc, char** argv) {
   opt.scale = cli.get("scale", "paper") == "small" ? rapwam::BenchScale::Small
                                                    : rapwam::BenchScale::Paper;
   opt.pool_threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  opt.fig4_streaming = cli.has("streaming");
+  opt.stream_window = static_cast<std::size_t>(cli.get_int("window", 8));
   for (const rapwam::TextTable& t : rapwam::fig4_report(opt)) {
     std::fputs(cli.has("csv") ? t.csv().c_str() : t.str().c_str(), stdout);
     std::puts("");

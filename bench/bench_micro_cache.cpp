@@ -27,19 +27,43 @@
 #include "cache/refsim.h"
 #include "harness/runner.h"
 #include "timing/timed_replay.h"
+#include "trace/chunks.h"
 
 namespace {
 
 using namespace rapwam;
 
-const std::vector<u64>& shared_trace(unsigned pes) {
-  static std::vector<std::vector<u64>> traces(65);  // sim supports <= 64 PEs
-  if (traces.at(pes).empty()) {
-    BenchRun r = run_parallel(bench_program("qsort", BenchScale::Small), pes,
-                              /*want_trace=*/true);
-    traces[pes] = r.trace->packed();
+/// The qsort/small trace at `pes` PEs, generated once through the
+/// chunked engine->sink pipeline — with the generation itself timed
+/// (best of 3 runs), since emitting the trace is the sweep front end
+/// the gen_refs_per_sec metric tracks.
+struct SharedTrace {
+  std::vector<u64> packed;
+  double gen_seconds = 0;   ///< best-of-3 emulator run emitting the trace
+  u64 emitted_refs = 0;     ///< every reference emitted (busy or not)
+};
+
+const SharedTrace& shared_trace(unsigned pes) {
+  static std::vector<SharedTrace> traces(65);  // sim supports <= 64 PEs
+  SharedTrace& t = traces.at(pes);
+  if (t.packed.empty()) {
+    BenchProgram bp = bench_program("qsort", BenchScale::Small);
+    t.gen_seconds = 1e300;
+    for (int trial = 0; trial < 3; ++trial) {
+      ChunkingSink sink(/*busy_only=*/true);
+      auto t0 = std::chrono::steady_clock::now();
+      run_into(bp, pes, /*strip=*/false, &sink);
+      double dt =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      t.gen_seconds = std::min(t.gen_seconds, dt);
+      if (trial == 2) {  // identical every trial; materialize once
+        std::shared_ptr<const ChunkedTrace> trace = sink.take();
+        t.emitted_refs = trace->counts().total;
+        t.packed = trace->to_packed();
+      }
+    }
   }
-  return traces[pes];
+  return t;
 }
 
 CacheConfig bench_cfg(Protocol p) {
@@ -108,7 +132,13 @@ void emit_json(const std::string& path) {
   std::fprintf(f, "  \"cache_words\": 1024,\n  \"line_words\": 4,\n  \"points\": [\n");
   bool first = true;
   for (unsigned pes : {1u, 2u, 4u, 8u, 16u}) {
-    const std::vector<u64>& trace = shared_trace(pes);
+    const SharedTrace& st = shared_trace(pes);
+    const std::vector<u64>& trace = st.packed;
+    // Engine-side generation throughput: every reference the emulator
+    // emitted (busy or not) over the best-of-3 generation wall time.
+    double gen_refs_per_sec = static_cast<double>(st.emitted_refs) / st.gen_seconds;
+    std::printf("generate    %2u PEs  %7.2f Mrefs/s (%llu refs emitted)\n", pes,
+                gen_refs_per_sec / 1e6, (unsigned long long)st.emitted_refs);
     for (Protocol p : protos) {
       CacheConfig cfg = bench_cfg(p);
       Timed fast = time_replay<MultiCacheSim>(cfg, pes, trace);
@@ -120,11 +150,11 @@ void emit_json(const std::string& path) {
       std::fprintf(f,
                    "%s    {\"protocol\": \"%s\", \"pes\": %u, \"refs\": %zu, "
                    "\"refs_per_sec\": %.0f, \"naive_refs_per_sec\": %.0f, "
-                   "\"timed_refs_per_sec\": %.0f, "
+                   "\"timed_refs_per_sec\": %.0f, \"gen_refs_per_sec\": %.0f, "
                    "\"speedup\": %.2f, \"traffic_ratio\": %.4f, \"miss_ratio\": %.4f}",
                    first ? "" : ",\n", protocol_name(p).c_str(), pes, trace.size(),
                    refs_per_sec, naive_refs_per_sec, timed_refs_per_sec,
-                   refs_per_sec / naive_refs_per_sec,
+                   gen_refs_per_sec, refs_per_sec / naive_refs_per_sec,
                    fast.stats.traffic_ratio(), fast.stats.miss_ratio());
       first = false;
       std::printf("%-22s %2u PEs  %7.2f Mrefs/s (naive %6.2f, %.2fx; timed %6.2f)\n",
@@ -144,7 +174,7 @@ void emit_json(const std::string& path) {
 void BM_Replay(benchmark::State& state) {
   Protocol p = static_cast<Protocol>(state.range(0));
   unsigned pes = static_cast<unsigned>(state.range(1));
-  const std::vector<u64>& t = shared_trace(pes);
+  const std::vector<u64>& t = shared_trace(pes).packed;
   u64 refs = 0;
   for (auto _ : state) {
     MultiCacheSim sim(bench_cfg(p), pes);
@@ -167,7 +197,7 @@ BENCHMARK(BM_Replay)
 void BM_ReplayNaive(benchmark::State& state) {
   Protocol p = static_cast<Protocol>(state.range(0));
   unsigned pes = static_cast<unsigned>(state.range(1));
-  const std::vector<u64>& t = shared_trace(pes);
+  const std::vector<u64>& t = shared_trace(pes).packed;
   u64 refs = 0;
   for (auto _ : state) {
     ReferenceCacheSim sim(bench_cfg(p), pes);
@@ -186,7 +216,7 @@ BENCHMARK(BM_ReplayNaive)
 void BM_TimedReplay(benchmark::State& state) {
   Protocol p = static_cast<Protocol>(state.range(0));
   unsigned pes = static_cast<unsigned>(state.range(1));
-  const std::vector<u64>& t = shared_trace(pes);
+  const std::vector<u64>& t = shared_trace(pes).packed;
   u64 refs = 0;
   for (auto _ : state) {
     TimedReplay sim(bench_cfg(p), pes, TimingParams{1, 1, 2, 4});

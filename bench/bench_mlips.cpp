@@ -3,18 +3,93 @@
 // instructions/inference, references/instruction and cache capture
 // rate instead of the paper's round numbers.
 //
+// Also archives the measured numbers — plus host-side engine
+// throughput (simulated instructions/sec and trace-generation
+// refs/sec through the chunked sink pipeline) and whether the
+// computed-goto interpreter core was selected — to BENCH_engine.json,
+// so the emulator's perf trajectory is tracked across PRs alongside
+// BENCH_cache.json. Same conventions as bench_micro_cache: written on
+// a bare invocation or with --json-out=PATH, suppressed by --no-json.
+//
 //   --scale small|paper   workload size (default paper)
+#include <chrono>
 #include <cstdio>
 
 #include "harness/reports.h"
+#include "trace/chunks.h"
+
 #include "support/cli.h"
+
+namespace {
+
+using namespace rapwam;
+
+/// Host throughput of the emulator front end: best-of-3 qsort run at
+/// 8 PEs with a ChunkingSink attached (the generate-once pipeline).
+struct EngineRates {
+  double sim_instr_per_sec = 0;
+  double gen_refs_per_sec = 0;
+};
+
+EngineRates engine_rates(BenchScale scale) {
+  BenchProgram bp = bench_program("qsort", scale);
+  double best = 1e300;
+  u64 instr = 0, refs = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    ChunkingSink sink(/*busy_only=*/true);
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult r = run_into(bp, 8, /*strip=*/false, &sink);
+    double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    best = std::min(best, dt);
+    instr = r.stats.instructions;
+    refs = sink.take()->counts().total;
+  }
+  EngineRates out;
+  out.sim_instr_per_sec = static_cast<double>(instr) / best;
+  out.gen_refs_per_sec = static_cast<double>(refs) / best;
+  return out;
+}
+
+void emit_json(const std::string& path, const ReportOptions& opt,
+               const MlipsNumbers& m) {
+  EngineRates er = engine_rates(opt.scale);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_mlips: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"engine_mlips\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n",
+               opt.scale == BenchScale::Small ? "small" : "paper");
+  std::fprintf(f, "  \"threaded_dispatch\": %s,\n",
+               threaded_dispatch_enabled() ? "true" : "false");
+  std::fprintf(f, "  \"instr_per_inference\": %.2f,\n", m.instr_per_inference);
+  std::fprintf(f, "  \"refs_per_instr\": %.2f,\n", m.refs_per_instr);
+  std::fprintf(f, "  \"bytes_per_inference\": %.1f,\n", m.bytes_per_inference);
+  std::fprintf(f, "  \"demand_mb_per_sec\": %.1f,\n", m.demand_mb_per_sec);
+  std::fprintf(f, "  \"traffic_ratio_8pe_1024w\": %.4f,\n", m.traffic_ratio);
+  std::fprintf(f, "  \"bus_mb_per_sec\": %.1f,\n", m.bus_mb_per_sec);
+  std::fprintf(f, "  \"sim_instr_per_sec\": %.0f,\n", er.sim_instr_per_sec);
+  std::fprintf(f, "  \"gen_refs_per_sec\": %.0f\n}\n", er.gen_refs_per_sec);
+  std::fclose(f);
+  std::printf("host engine: %.2f M simulated instr/s, %.2f M refs/s generated\n",
+              er.sim_instr_per_sec / 1e6, er.gen_refs_per_sec / 1e6);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   rapwam::Cli cli(argc, argv);
   rapwam::ReportOptions opt;
   opt.scale = cli.get("scale", "paper") == "small" ? rapwam::BenchScale::Small
                                                    : rapwam::BenchScale::Paper;
-  rapwam::TextTable t = rapwam::mlips_report(opt);
-  std::fputs(t.str().c_str(), stdout);
+  rapwam::MlipsNumbers m = rapwam::mlips_numbers(opt);
+  std::fputs(rapwam::mlips_report(m).str().c_str(), stdout);
+  bool bare = argc == 1;
+  if (!cli.has("no-json") && (bare || cli.has("json-out"))) {
+    emit_json(cli.get("json-out", "BENCH_engine.json"), opt, m);
+  }
   return 0;
 }

@@ -21,6 +21,7 @@
 
 #include "cache/cache.h"
 #include "support/flat_table.h"
+#include "trace/chunks.h"
 #include "trace/tracebuf.h"
 
 namespace rapwam {
@@ -83,6 +84,10 @@ class MultiCacheSim {
   /// protocol switch; references are unpacked once, in place).
   void replay(const u64* packed, std::size_t n);
   void replay(const std::vector<u64>& packed) { replay(packed.data(), packed.size()); }
+  /// Replays shared immutable chunk storage in place (no flattening).
+  void replay(const ChunkedTrace& t) {
+    t.for_each_chunk([this](const u64* p, std::size_t n) { replay(p, n); });
+  }
 
   const TrafficStats& stats() const { return stats_; }
   const CacheConfig& config() const { return cfg_; }

@@ -1,17 +1,26 @@
 #include "cache/sweep.h"
 
+#include <exception>
+#include <thread>
+
 namespace rapwam {
+
+namespace {
+TrafficStats replay_point(const SweepPoint& p) {
+  RW_CHECK(p.trace || p.chunks, "sweep point has no trace");
+  MultiCacheSim sim(p.cfg, p.num_pes);
+  if (p.chunks) sim.replay(*p.chunks);
+  else sim.replay(*p.trace);
+  return sim.stats();
+}
+}  // namespace
 
 std::vector<SweepResult> run_sweep(ThreadPool& pool,
                                    const std::vector<SweepPoint>& points) {
   std::vector<std::future<TrafficStats>> futs;
   futs.reserve(points.size());
   for (const SweepPoint& p : points) {
-    futs.push_back(pool.submit([p]() {
-      MultiCacheSim sim(p.cfg, p.num_pes);
-      sim.replay(*p.trace);
-      return sim.stats();
-    }));
+    futs.push_back(pool.submit([p]() { return replay_point(p); }));
   }
   std::vector<SweepResult> out;
   out.reserve(points.size());
@@ -21,8 +30,68 @@ std::vector<SweepResult> run_sweep(ThreadPool& pool,
   return out;
 }
 
+std::vector<SweepResult> run_sweep_streaming(
+    const std::vector<SweepPoint>& points,
+    const std::function<void(TraceSink&)>& produce, bool busy_only,
+    std::size_t window_chunks) {
+  std::vector<SweepResult> out;
+  out.reserve(points.size());
+  for (const SweepPoint& p : points) out.push_back(SweepResult{p, {}});
+  if (points.empty()) {
+    // Still drive the producer so its side effects (e.g. run stats)
+    // happen; the stream has no consumers and drops chunks on push.
+    ChunkStream stream(0, window_chunks);
+    StreamSink sink(stream, busy_only);
+    produce(sink);
+    sink.finish();
+    return out;
+  }
+
+  ChunkStream stream(static_cast<unsigned>(points.size()), window_chunks);
+  std::vector<std::exception_ptr> errors(points.size());
+  std::vector<std::thread> consumers;
+  consumers.reserve(points.size());
+  for (unsigned i = 0; i < points.size(); ++i) {
+    consumers.emplace_back([&, i] {
+      try {
+        MultiCacheSim sim(points[i].cfg, points[i].num_pes);
+        while (std::shared_ptr<const std::vector<u64>> c = stream.next(i))
+          sim.replay(*c);
+        out[i].stats = sim.stats();
+      } catch (...) {
+        errors[i] = std::current_exception();
+        stream.detach(i);  // don't hold the window open for a dead consumer
+      }
+    });
+  }
+
+  std::exception_ptr produce_error;
+  {
+    StreamSink sink(stream, busy_only);
+    try {
+      produce(sink);
+    } catch (...) {
+      produce_error = std::current_exception();
+    }
+    sink.finish();  // flush + close even on error, so consumers terminate
+  }
+  for (std::thread& t : consumers) t.join();
+
+  if (produce_error) std::rethrow_exception(produce_error);
+  for (std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return out;
+}
+
 TrafficStats replay_traffic(const CacheConfig& cfg, unsigned num_pes,
                             const std::vector<u64>& trace) {
+  MultiCacheSim sim(cfg, num_pes);
+  sim.replay(trace);
+  return sim.stats();
+}
+
+TrafficStats replay_traffic(const CacheConfig& cfg, unsigned num_pes,
+                            const ChunkedTrace& trace) {
   MultiCacheSim sim(cfg, num_pes);
   sim.replay(trace);
   return sim.stats();

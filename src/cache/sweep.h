@@ -1,6 +1,15 @@
 // Parallel parameter sweeps over cache configurations: replays one or
 // more traces through many (protocol × size × policy) points using a
 // host thread pool. This is the harness behind Figure 4.
+//
+// Two fan-out modes (docs/DESIGN.md §8):
+//   * generate-once: each trace lives in shared immutable chunk
+//     storage (ChunkedTrace) and every point replays it independently
+//     on the pool;
+//   * streaming: run_sweep_streaming() replays the points concurrently
+//     with trace *generation* over a bounded chunk window, so nothing
+//     is ever materialized and peak memory is O(window), independent
+//     of trace length.
 #pragma once
 
 #include <functional>
@@ -14,8 +23,12 @@ namespace rapwam {
 struct SweepPoint {
   CacheConfig cfg;
   unsigned num_pes = 1;
-  const std::vector<u64>* trace = nullptr;  ///< packed refs, global order
-  int label = 0;                            ///< caller-defined id
+  /// The trace to replay: either a flat packed vector or shared chunk
+  /// storage (exactly one must be set, except under run_sweep_streaming
+  /// which supplies the stream itself and ignores both).
+  const std::vector<u64>* trace = nullptr;   ///< packed refs, global order
+  const ChunkedTrace* chunks = nullptr;      ///< shared immutable chunks
+  int label = 0;                             ///< caller-defined id
 };
 
 struct SweepResult {
@@ -27,9 +40,28 @@ struct SweepResult {
 /// Results are returned in input order.
 std::vector<SweepResult> run_sweep(ThreadPool& pool, const std::vector<SweepPoint>& points);
 
+/// Streaming fan-out: `produce` runs on the calling thread and emits
+/// the whole reference stream into the sink it is handed (typically by
+/// running the emulator with that sink); every point consumes the same
+/// bounded chunk window concurrently and sees the chunks in emission
+/// order. `busy_only` filters the stream exactly as TraceBuffer would.
+///
+/// Consumers run on dedicated threads, not a ThreadPool: the window
+/// couples their progress (a chunk is only released once *every*
+/// consumer took it), so a consumer parked in a pool queue behind the
+/// others would deadlock the producer. Results are in input order, and
+/// are bit-identical to materializing the trace and replaying it per
+/// point (pinned by tests/test_pipeline_diff.cpp).
+std::vector<SweepResult> run_sweep_streaming(
+    const std::vector<SweepPoint>& points,
+    const std::function<void(TraceSink&)>& produce, bool busy_only = true,
+    std::size_t window_chunks = ChunkStream::kDefaultWindow);
+
 /// One-point convenience used by the reports and benches: replays
 /// `trace` through a fresh simulator and returns its traffic counters.
 TrafficStats replay_traffic(const CacheConfig& cfg, unsigned num_pes,
                             const std::vector<u64>& trace);
+TrafficStats replay_traffic(const CacheConfig& cfg, unsigned num_pes,
+                            const ChunkedTrace& trace);
 
 }  // namespace rapwam

@@ -91,6 +91,7 @@ enum class Op : u8 {
   PFrame,        // a=#slots b=PF env slot imm=pwait addr
   PGoal,         // a=slot b=proc idx c=arity  snapshot A1..Ac, push goal
   PWait,         // a=PF env slot              schedule/execute/wait
+  kOpCount,      // sentinel — keep last (sizes the threaded-dispatch table)
 };
 
 /// Inline predicate identifiers (dispatch table in the engine).

@@ -221,6 +221,8 @@ RunResult Machine::run_query(const Term* goal, TraceSink* sink) {
     }
   }
 
+  bus_->flush_sink();  // hand the partial trailing chunk to the sink
+
   RunResult res;
   res.solutions = solutions_;
   res.success = !solutions_.empty();
@@ -245,11 +247,15 @@ void Machine::record_high_water(const Worker& w) {
 }
 
 void Machine::step(Worker& w) {
+  // Running is the overwhelmingly common state: check it first instead
+  // of round-tripping through the state jump table.
+  if (w.state == Worker::St::Running) [[likely]] {
+    exec(w);
+    return;
+  }
   switch (w.state) {
     case Worker::St::Halted:
-      return;
-    case Worker::St::Running:
-      exec(w);
+    case Worker::St::Running:  // handled above
       return;
     case Worker::St::Waiting:
       ++stats_.wait_polls;
@@ -260,6 +266,27 @@ void Machine::step(Worker& w) {
       return;
   }
 }
+
+// --- instruction dispatch -------------------------------------------------
+//
+// On GNU-compatible compilers (GCC, Clang) the interpreter core uses
+// computed-goto threaded dispatch: a per-opcode label table indexed by
+// the Op value, giving every opcode its own indirect-branch target
+// (the RW_CHECK guard deliberately keeps the switch's bounds check —
+// a corrupt opcode must fail loudly, not jump wild). Elsewhere (or with
+// -DRAPWAM_FORCE_SWITCH_DISPATCH, used to differential-test the two
+// cores) it falls back to the plain switch. RW_OP expands to a label
+// or a case accordingly; every opcode body ends in `return`, so the
+// two forms are statement-for-statement identical.
+#if defined(__GNUC__) && !defined(RAPWAM_FORCE_SWITCH_DISPATCH)
+#define RAPWAM_THREADED_DISPATCH 1
+#define RW_OP(name) lbl_##name
+#else
+#define RAPWAM_THREADED_DISPATCH 0
+#define RW_OP(name) case Op::name
+#endif
+
+bool threaded_dispatch_enabled() { return RAPWAM_THREADED_DISPATCH != 0; }
 
 void Machine::exec(Worker& w) {
   const Instr ins = code_->at(w.p);
@@ -272,8 +299,36 @@ void Machine::exec(Worker& w) {
   };
   auto env_y = [&](i32 y) { return w.e + kEnvY + static_cast<u64>(y); };
 
+#if RAPWAM_THREADED_DISPATCH
+  // One label per opcode, indexed by the Op value — the entries must
+  // mirror enum Op in compiler/instr.h exactly (count pinned below).
+  static const void* const kLabels[] = {
+      &&lbl_Call, &&lbl_Execute, &&lbl_Proceed, &&lbl_Allocate,
+      &&lbl_Deallocate, &&lbl_Jump, &&lbl_HaltSuccess, &&lbl_EndGoal,
+      &&lbl_EndLocalGoal, &&lbl_FailAlways, &&lbl_TryMeElse, &&lbl_RetryMeElse,
+      &&lbl_TrustMe, &&lbl_Try, &&lbl_Retry, &&lbl_Trust, &&lbl_SwitchOnTerm,
+      &&lbl_SwitchOnConst, &&lbl_SwitchOnStruct, &&lbl_GetLevel, &&lbl_Cut,
+      &&lbl_NeckCut, &&lbl_GetVariableX, &&lbl_GetVariableY, &&lbl_GetValueX,
+      &&lbl_GetValueY, &&lbl_GetConstant, &&lbl_GetInteger, &&lbl_GetNil,
+      &&lbl_GetStructure, &&lbl_GetList, &&lbl_PutVariableX, &&lbl_PutVariableY,
+      &&lbl_PutValueX, &&lbl_PutValueY, &&lbl_PutUnsafeValue, &&lbl_PutConstant,
+      &&lbl_PutInteger, &&lbl_PutNil, &&lbl_PutStructure, &&lbl_PutList,
+      &&lbl_UnifyVariableX, &&lbl_UnifyVariableY, &&lbl_UnifyValueX,
+      &&lbl_UnifyValueY, &&lbl_UnifyLocalValueX, &&lbl_UnifyLocalValueY,
+      &&lbl_UnifyConstant, &&lbl_UnifyInteger, &&lbl_UnifyNil, &&lbl_UnifyVoid,
+      &&lbl_MathLoad, &&lbl_MathRR, &&lbl_MathRI, &&lbl_MathCmp, &&lbl_Builtin,
+      &&lbl_CheckGround, &&lbl_CheckIndep, &&lbl_PFrame, &&lbl_PGoal,
+      &&lbl_PWait};
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                    static_cast<std::size_t>(Op::kOpCount),
+                "dispatch table out of sync with enum Op");
+  RW_CHECK(static_cast<std::size_t>(ins.op) < static_cast<std::size_t>(Op::kOpCount),
+           "bad opcode");
+  goto *kLabels[static_cast<std::size_t>(ins.op)];
+#else
   switch (ins.op) {
-    case Op::Call: {
+#endif
+    RW_OP(Call): {
       const Proc& pr = code_->proc(ins.a);
       w.cp = w.p;
       w.b0 = w.b;
@@ -281,26 +336,26 @@ void Machine::exec(Worker& w) {
       ++stats_.calls;
       return;
     }
-    case Op::Execute: {
+    RW_OP(Execute): {
       const Proc& pr = code_->proc(ins.a);
       w.b0 = w.b;
       w.p = pr.entry;
       ++stats_.calls;
       return;
     }
-    case Op::Proceed:
+    RW_OP(Proceed):
       w.p = w.cp;
       return;
-    case Op::Allocate:
+    RW_OP(Allocate):
       push_env(w, ins.a);
       return;
-    case Op::Deallocate:
+    RW_OP(Deallocate):
       pop_env(w);
       return;
-    case Op::Jump:
+    RW_OP(Jump):
       w.p = ins.a;
       return;
-    case Op::HaltSuccess: {
+    RW_OP(HaltSuccess): {
       Solution sol;
       for (auto& [name, addr] : query_vars_)
         sol.bindings.emplace_back(name, stringify(bus_->peek(addr)));
@@ -313,37 +368,37 @@ void Machine::exec(Worker& w) {
       }
       return;
     }
-    case Op::EndGoal:
+    RW_OP(EndGoal):
       end_goal(w);
       return;
-    case Op::EndLocalGoal:
+    RW_OP(EndLocalGoal):
       end_local_goal(w);
       return;
-    case Op::FailAlways:
+    RW_OP(FailAlways):
       backtrack(w);
       return;
-    case Op::TryMeElse:
+    RW_OP(TryMeElse):
       push_choice(w, ins.b, ins.a);
       return;
-    case Op::RetryMeElse:
+    RW_OP(RetryMeElse):
       wr(w, w.b + kCpBP, make_raw(static_cast<u64>(ins.a)), ObjClass::ChoicePoint);
       return;
-    case Op::TrustMe:
+    RW_OP(TrustMe):
       pop_choice(w);
       return;
-    case Op::Try:
+    RW_OP(Try):
       push_choice(w, ins.b, w.p);  // alternative: the following retry/trust
       w.p = ins.a;
       return;
-    case Op::Retry:
+    RW_OP(Retry):
       wr(w, w.b + kCpBP, make_raw(static_cast<u64>(w.p)), ObjClass::ChoicePoint);
       w.p = ins.a;
       return;
-    case Op::Trust:
+    RW_OP(Trust):
       pop_choice(w);
       w.p = ins.a;
       return;
-    case Op::SwitchOnTerm: {
+    RW_OP(SwitchOnTerm): {
       u64 d = deref(w, w.x[1]);
       i32 target;
       switch (cell_tag(d)) {
@@ -358,7 +413,7 @@ void Machine::exec(Worker& w) {
       w.p = target;
       return;
     }
-    case Op::SwitchOnConst: {
+    RW_OP(SwitchOnConst): {
       u64 d = deref(w, w.x[1]);
       u64 key = cell_tag(d) == Tag::Con
                     ? CodeStore::const_key_atom(static_cast<u32>(cell_val(d)))
@@ -369,7 +424,7 @@ void Machine::exec(Worker& w) {
       w.p = target;
       return;
     }
-    case Op::SwitchOnStruct: {
+    RW_OP(SwitchOnStruct): {
       u64 d = deref(w, w.x[1]);
       u64 f = rd(w, cell_val(d), ObjClass::HeapTerm);
       i32 target = code_->switch_lookup(
@@ -379,53 +434,53 @@ void Machine::exec(Worker& w) {
       w.p = target;
       return;
     }
-    case Op::GetLevel:
+    RW_OP(GetLevel):
       wr(w, env_y(ins.a), make_raw(w.b0), ObjClass::EnvPermVar);
       return;
-    case Op::Cut: {
+    RW_OP(Cut): {
       u64 v = rd(w, env_y(ins.a), ObjClass::EnvPermVar);
       do_cut(w, cell_val(v));
       return;
     }
-    case Op::NeckCut:
+    RW_OP(NeckCut):
       do_cut(w, w.b0);
       return;
 
-    case Op::GetVariableX:
+    RW_OP(GetVariableX):
       w.x[static_cast<std::size_t>(ins.a)] = w.x[static_cast<std::size_t>(ins.b)];
       return;
-    case Op::GetVariableY:
+    RW_OP(GetVariableY):
       wr(w, env_y(ins.a), w.x[static_cast<std::size_t>(ins.b)], ObjClass::EnvPermVar);
       return;
-    case Op::GetValueX:
+    RW_OP(GetValueX):
       fail_if(!unify(w, w.x[static_cast<std::size_t>(ins.a)],
                      w.x[static_cast<std::size_t>(ins.b)]));
       return;
-    case Op::GetValueY: {
+    RW_OP(GetValueY): {
       u64 v = rd(w, env_y(ins.a), ObjClass::EnvPermVar);
       fail_if(!unify(w, v, w.x[static_cast<std::size_t>(ins.b)]));
       return;
     }
-    case Op::GetConstant: {
+    RW_OP(GetConstant): {
       u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
       if (cell_tag(d) == Tag::Ref) bind(w, d, make_con(static_cast<u32>(ins.a)));
       else fail_if(d != make_con(static_cast<u32>(ins.a)));
       return;
     }
-    case Op::GetInteger: {
+    RW_OP(GetInteger): {
       u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
       if (cell_tag(d) == Tag::Ref) bind(w, d, make_int(ins.imm));
       else fail_if(d != make_int(ins.imm));
       return;
     }
-    case Op::GetNil: {
+    RW_OP(GetNil): {
       u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
       u64 nil = make_con(nil_atom_);
       if (cell_tag(d) == Tag::Ref) bind(w, d, nil);
       else fail_if(d != nil);
       return;
     }
-    case Op::GetStructure: {
+    RW_OP(GetStructure): {
       u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
       if (cell_tag(d) == Tag::Ref) {
         u64 addr = w.h;
@@ -445,7 +500,7 @@ void Machine::exec(Worker& w) {
       }
       return;
     }
-    case Op::GetList: {
+    RW_OP(GetList): {
       u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
       if (cell_tag(d) == Tag::Ref) {
         bind(w, d, make_lis(w.h));
@@ -459,26 +514,26 @@ void Machine::exec(Worker& w) {
       return;
     }
 
-    case Op::PutVariableX: {
+    RW_OP(PutVariableX): {
       u64 addr = w.h;
       heap_push(w, make_ref(addr));
       w.x[static_cast<std::size_t>(ins.a)] = make_ref(addr);
       w.x[static_cast<std::size_t>(ins.b)] = make_ref(addr);
       return;
     }
-    case Op::PutVariableY: {
+    RW_OP(PutVariableY): {
       u64 addr = env_y(ins.a);
       wr(w, addr, make_ref(addr), ObjClass::EnvPermVar);
       w.x[static_cast<std::size_t>(ins.b)] = make_ref(addr);
       return;
     }
-    case Op::PutValueX:
+    RW_OP(PutValueX):
       w.x[static_cast<std::size_t>(ins.b)] = w.x[static_cast<std::size_t>(ins.a)];
       return;
-    case Op::PutValueY:
+    RW_OP(PutValueY):
       w.x[static_cast<std::size_t>(ins.b)] = rd(w, env_y(ins.a), ObjClass::EnvPermVar);
       return;
-    case Op::PutUnsafeValue: {
+    RW_OP(PutUnsafeValue): {
       u64 v = deref(w, rd(w, env_y(ins.a), ObjClass::EnvPermVar));
       if (cell_tag(v) == Tag::Ref) {
         u64 addr = cell_val(v);
@@ -494,28 +549,28 @@ void Machine::exec(Worker& w) {
       w.x[static_cast<std::size_t>(ins.b)] = v;
       return;
     }
-    case Op::PutConstant:
+    RW_OP(PutConstant):
       w.x[static_cast<std::size_t>(ins.b)] = make_con(static_cast<u32>(ins.a));
       return;
-    case Op::PutInteger:
+    RW_OP(PutInteger):
       w.x[static_cast<std::size_t>(ins.b)] = make_int(ins.imm);
       return;
-    case Op::PutNil:
+    RW_OP(PutNil):
       w.x[static_cast<std::size_t>(ins.b)] = make_con(nil_atom_);
       return;
-    case Op::PutStructure: {
+    RW_OP(PutStructure): {
       u64 addr = w.h;
       heap_push(w, make_fun(static_cast<u32>(ins.a), static_cast<u32>(ins.c)));
       w.x[static_cast<std::size_t>(ins.b)] = make_str(addr);
       w.write_mode = true;
       return;
     }
-    case Op::PutList:
+    RW_OP(PutList):
       w.x[static_cast<std::size_t>(ins.b)] = make_lis(w.h);
       w.write_mode = true;
       return;
 
-    case Op::UnifyVariableX:
+    RW_OP(UnifyVariableX):
       if (w.write_mode) {
         u64 addr = w.h;
         heap_push(w, make_ref(addr));
@@ -524,7 +579,7 @@ void Machine::exec(Worker& w) {
         w.x[static_cast<std::size_t>(ins.a)] = rd(w, w.s++, ObjClass::HeapTerm);
       }
       return;
-    case Op::UnifyVariableY:
+    RW_OP(UnifyVariableY):
       if (w.write_mode) {
         u64 addr = w.h;
         heap_push(w, make_ref(addr));
@@ -533,18 +588,18 @@ void Machine::exec(Worker& w) {
         wr(w, env_y(ins.a), rd(w, w.s++, ObjClass::HeapTerm), ObjClass::EnvPermVar);
       }
       return;
-    case Op::UnifyValueX:
+    RW_OP(UnifyValueX):
       if (w.write_mode) heap_push(w, w.x[static_cast<std::size_t>(ins.a)]);
       else fail_if(!unify(w, w.x[static_cast<std::size_t>(ins.a)],
                           rd(w, w.s++, ObjClass::HeapTerm)));
       return;
-    case Op::UnifyValueY: {
+    RW_OP(UnifyValueY): {
       u64 v = rd(w, env_y(ins.a), ObjClass::EnvPermVar);
       if (w.write_mode) heap_push(w, v);
       else fail_if(!unify(w, v, rd(w, w.s++, ObjClass::HeapTerm)));
       return;
     }
-    case Op::UnifyLocalValueX: {
+    RW_OP(UnifyLocalValueX): {
       if (!w.write_mode) {
         fail_if(!unify(w, w.x[static_cast<std::size_t>(ins.a)],
                        rd(w, w.s++, ObjClass::HeapTerm)));
@@ -564,7 +619,7 @@ void Machine::exec(Worker& w) {
       }
       return;
     }
-    case Op::UnifyLocalValueY: {
+    RW_OP(UnifyLocalValueY): {
       u64 raw = rd(w, env_y(ins.a), ObjClass::EnvPermVar);
       if (!w.write_mode) {
         fail_if(!unify(w, raw, rd(w, w.s++, ObjClass::HeapTerm)));
@@ -581,7 +636,7 @@ void Machine::exec(Worker& w) {
       }
       return;
     }
-    case Op::UnifyConstant: {
+    RW_OP(UnifyConstant): {
       u64 c = make_con(static_cast<u32>(ins.a));
       if (w.write_mode) { heap_push(w, c); return; }
       u64 d = deref(w, rd(w, w.s++, ObjClass::HeapTerm));
@@ -589,7 +644,7 @@ void Machine::exec(Worker& w) {
       else fail_if(d != c);
       return;
     }
-    case Op::UnifyInteger: {
+    RW_OP(UnifyInteger): {
       u64 c = make_int(ins.imm);
       if (w.write_mode) { heap_push(w, c); return; }
       u64 d = deref(w, rd(w, w.s++, ObjClass::HeapTerm));
@@ -597,7 +652,7 @@ void Machine::exec(Worker& w) {
       else fail_if(d != c);
       return;
     }
-    case Op::UnifyNil: {
+    RW_OP(UnifyNil): {
       u64 c = make_con(nil_atom_);
       if (w.write_mode) { heap_push(w, c); return; }
       u64 d = deref(w, rd(w, w.s++, ObjClass::HeapTerm));
@@ -605,7 +660,7 @@ void Machine::exec(Worker& w) {
       else fail_if(d != c);
       return;
     }
-    case Op::UnifyVoid:
+    RW_OP(UnifyVoid):
       if (w.write_mode) {
         for (i32 i = 0; i < ins.a; ++i) {
           u64 addr = w.h;
@@ -616,7 +671,7 @@ void Machine::exec(Worker& w) {
       }
       return;
 
-    case Op::MathLoad: {
+    RW_OP(MathLoad): {
       u64 v = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
       if (cell_tag(v) == Tag::Int) {
         w.x[static_cast<std::size_t>(ins.a)] = v;
@@ -636,20 +691,20 @@ void Machine::exec(Worker& w) {
       backtrack(w);  // atoms / non-arithmetic compounds are not numbers
       return;
     }
-    case Op::MathRR: {
+    RW_OP(MathRR): {
       i64 a = int_val(w.x[static_cast<std::size_t>(ins.c)]);
       i64 b = int_val(w.x[static_cast<std::size_t>(ins.imm)]);
       w.x[static_cast<std::size_t>(ins.b)] =
           make_int(math_apply(static_cast<MathFn>(ins.a), a, b));
       return;
     }
-    case Op::MathRI: {
+    RW_OP(MathRI): {
       i64 a = int_val(w.x[static_cast<std::size_t>(ins.c)]);
       w.x[static_cast<std::size_t>(ins.b)] =
           make_int(math_apply(static_cast<MathFn>(ins.a), a, ins.imm));
       return;
     }
-    case Op::MathCmp: {
+    RW_OP(MathCmp): {
       i64 a = int_val(w.x[static_cast<std::size_t>(ins.b)]);
       i64 b = int_val(w.x[static_cast<std::size_t>(ins.c)]);
       bool ok;
@@ -664,32 +719,34 @@ void Machine::exec(Worker& w) {
       if (!ok) backtrack(w);
       return;
     }
-    case Op::Builtin: {
+    RW_OP(Builtin): {
       BResult r = exec_builtin(w, static_cast<BuiltinId>(ins.a), ins.b);
       if (r == BResult::False) backtrack(w);
       return;
     }
 
-    case Op::CheckGround:
+    RW_OP(CheckGround):
       if (!ground_cell(w, w.x[static_cast<std::size_t>(ins.a)])) w.p = ins.b;
       return;
-    case Op::CheckIndep:
+    RW_OP(CheckIndep):
       if (!indep_cells(w, w.x[static_cast<std::size_t>(ins.a)],
                        w.x[static_cast<std::size_t>(ins.c)]))
         w.p = ins.b;
       return;
-    case Op::PFrame:
+    RW_OP(PFrame):
       exec_pframe(w, ins.a, ins.b, static_cast<u64>(ins.imm));
       return;
-    case Op::PGoal:
+    RW_OP(PGoal):
       exec_pgoal(w, ins.a, ins.b, ins.c);
       return;
-    case Op::PWait:
+    RW_OP(PWait):
       w.p = here;  // pwait re-executes until the parcall completes
       exec_pwait(w);
       return;
+#if !RAPWAM_THREADED_DISPATCH
   }
   RW_CHECK(false, "unhandled opcode");
+#endif
 }
 
 }  // namespace rapwam

@@ -34,6 +34,12 @@
 
 namespace rapwam {
 
+/// True when the interpreter core was compiled with computed-goto
+/// threaded dispatch (GNU-compatible compilers; falls back to a plain
+/// switch elsewhere — see the dispatch macros in machine.cpp). CI
+/// asserts this returns true on the GCC/Clang Release builds.
+bool threaded_dispatch_enabled();
+
 struct MachineConfig {
   unsigned num_pes = 1;
   AreaSizes sizes{};

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "cache/queueing.h"
+#include "harness/trace_lib.h"
 #include "support/stats.h"
 
 namespace rapwam {
@@ -64,43 +65,72 @@ TextTable fig2_report(const ReportOptions& opt) {
   return t;
 }
 
-std::vector<TextTable> fig4_report(const ReportOptions& opt) {
-  // Collect traces: benchmark x PE count.
-  std::vector<std::string> names = small_bench_names();
-  std::map<std::pair<std::string, unsigned>, std::shared_ptr<TraceBuffer>> traces;
-  for (const std::string& n : names) {
-    BenchProgram bp = bench_program(n, opt.scale);
-    for (unsigned pes : opt.fig4_pes) {
-      BenchRun r = run_parallel(bp, pes, /*want_trace=*/true);
-      traces[{n, pes}] = r.trace;
+namespace {
+/// Figure 4's three protocol panels, in output order.
+constexpr Protocol kFig4Protos[] = {Protocol::WriteInBroadcast, Protocol::Hybrid,
+                                    Protocol::WriteThrough};
+
+/// The Figure 4 sweep grid for one (benchmark, PE count) trace: one
+/// point per (protocol, size). The trace pointer is left for the
+/// caller (chunk storage in fanout mode, none in streaming mode).
+std::vector<SweepPoint> fig4_points(const ReportOptions& opt, unsigned pes) {
+  std::vector<SweepPoint> points;
+  points.reserve(std::size(kFig4Protos) * opt.fig4_sizes.size());
+  for (Protocol p : kFig4Protos) {
+    for (u32 sz : opt.fig4_sizes) {
+      SweepPoint sp;
+      sp.cfg.protocol = p;
+      sp.cfg.size_words = sz;
+      sp.cfg.line_words = 4;
+      sp.cfg.write_allocate = paper_write_allocate(p, sz);
+      sp.num_pes = pes;
+      points.push_back(sp);
     }
   }
+  return points;
+}
+}  // namespace
 
-  const Protocol protos[] = {Protocol::WriteInBroadcast, Protocol::Hybrid,
-                             Protocol::WriteThrough};
+std::vector<TextTable> fig4_report(const ReportOptions& opt) {
+  std::vector<std::string> names = small_bench_names();
+  std::vector<SweepResult> results;
 
-  // Build the sweep: one simulation per (protocol, size, pes, bench).
-  ThreadPool pool(opt.pool_threads);
-  std::vector<SweepPoint> points;
-  points.reserve(std::size(protos) * opt.fig4_sizes.size() * opt.fig4_pes.size() *
-                 names.size());
-  for (Protocol p : protos) {
-    for (u32 sz : opt.fig4_sizes) {
+  if (opt.fig4_streaming) {
+    // Streaming: per (benchmark, PE count), the emulator generates the
+    // trace while every (protocol, size) point replays it concurrently
+    // from a bounded chunk window — no trace is ever materialized.
+    for (const std::string& n : names) {
+      BenchProgram bp = bench_program(n, opt.scale);
       for (unsigned pes : opt.fig4_pes) {
-        for (const std::string& n : names) {
-          SweepPoint sp;
-          sp.cfg.protocol = p;
-          sp.cfg.size_words = sz;
-          sp.cfg.line_words = 4;
-          sp.cfg.write_allocate = paper_write_allocate(p, sz);
-          sp.num_pes = pes;
-          sp.trace = &traces.at({n, pes})->packed();
+        std::vector<SweepResult> rs = run_sweep_streaming(
+            fig4_points(opt, pes),
+            [&](TraceSink& sink) { run_into(bp, pes, /*strip=*/false, &sink); },
+            /*busy_only=*/true, opt.stream_window);
+        results.insert(results.end(), rs.begin(), rs.end());
+      }
+    }
+  } else {
+    // Generate-once fan-out: each (benchmark, PE count) trace is
+    // generated exactly once — concurrently, on the pool — into shared
+    // immutable chunk storage, then every (protocol, size) point
+    // replays the shared chunks.
+    ThreadPool pool(opt.pool_threads);
+    TraceLibrary& lib = TraceLibrary::instance();
+    lib.prefetch(pool, names, opt.fig4_pes, opt.scale);
+    std::vector<std::shared_ptr<const GeneratedTrace>> keepalive;
+    std::vector<SweepPoint> points;
+    for (const std::string& n : names) {
+      for (unsigned pes : opt.fig4_pes) {
+        std::shared_ptr<const GeneratedTrace> t = lib.get(n, opt.scale, pes);
+        keepalive.push_back(t);
+        for (SweepPoint sp : fig4_points(opt, pes)) {
+          sp.chunks = t->trace.get();
           points.push_back(sp);
         }
       }
     }
+    results = run_sweep(pool, points);
   }
-  std::vector<SweepResult> results = run_sweep(pool, points);
 
   // Average traffic ratio over benchmarks for each (proto, size, pes).
   std::map<std::tuple<Protocol, u32, unsigned>, std::vector<double>> ratios;
@@ -110,7 +140,7 @@ std::vector<TextTable> fig4_report(const ReportOptions& opt) {
   }
 
   std::vector<TextTable> out;
-  for (Protocol p : protos) {
+  for (Protocol p : kFig4Protos) {
     TextTable t("Figure 4: Traffic of Coherency Schemes — " + protocol_name(p) +
                 " (mean traffic ratio over benchmarks; 4-word lines)");
     std::vector<std::string> hdr = {"cache size (words)"};
@@ -128,7 +158,7 @@ std::vector<TextTable> fig4_report(const ReportOptions& opt) {
 }
 
 namespace {
-double sequential_traffic_ratio(const std::vector<u64>& trace, u32 size_words) {
+double sequential_traffic_ratio(const ChunkedTrace& trace, u32 size_words) {
   CacheConfig cfg;
   cfg.protocol = Protocol::Copyback;
   cfg.size_words = size_words;
@@ -146,28 +176,29 @@ TextTable table3_report(const ReportOptions& opt) {
   for (const std::string& s : smalls) hdr.push_back("(tr-Etr)/sigma " + s);
   t.header(hdr);
 
-  // Large suite traces (sequential, exhaustive for queens).
-  std::vector<std::vector<u64>> large_traces;
+  // Large suite traces (sequential, exhaustive for queens) — streamed
+  // into chunk storage, never flattened.
+  std::vector<std::shared_ptr<const ChunkedTrace>> large_traces;
   for (const BenchProgram& bp : large_bench_suite(opt.scale)) {
-    BenchRun r = run_wam(bp, /*want_trace=*/true, /*max_solutions=*/100000);
-    large_traces.push_back(r.trace->packed());
+    ChunkingSink sink(/*busy_only=*/true);
+    run_into(bp, 1, /*strip=*/true, &sink, /*max_solutions=*/100000);
+    large_traces.push_back(sink.take());
   }
-  // Small benchmark traces (sequential).
-  std::vector<std::vector<u64>> small_traces;
-  for (const std::string& n : smalls) {
-    BenchRun r = run_wam(bench_program(n, opt.scale), /*want_trace=*/true);
-    small_traces.push_back(r.trace->packed());
-  }
+  // Small benchmark traces (sequential), shared via the library.
+  std::vector<std::shared_ptr<const GeneratedTrace>> small_traces;
+  for (const std::string& n : smalls)
+    small_traces.push_back(
+        TraceLibrary::instance().get(n, opt.scale, 1, /*wam=*/true));
 
   for (u32 sz : opt.table3_sizes) {
     std::vector<double> large_tr;
     for (const auto& tr : large_traces)
-      large_tr.push_back(sequential_traffic_ratio(tr, sz));
+      large_tr.push_back(sequential_traffic_ratio(*tr, sz));
     double e = mean(large_tr);
     double s = stddev(large_tr);
     std::vector<std::string> row = {std::to_string(sz), fmt(e, 4), fmt(s, 4)};
     for (const auto& tr : small_traces) {
-      double r = sequential_traffic_ratio(tr, sz);
+      double r = sequential_traffic_ratio(*tr->trace, sz);
       row.push_back(s > 0 ? fmt((r - e) / s, 2) : "n/a");
     }
     t.row(row);
@@ -175,41 +206,55 @@ TextTable table3_report(const ReportOptions& opt) {
   return t;
 }
 
-TextTable mlips_report(const ReportOptions& opt) {
-  TextTable t("Section 3.3: 2-MLIPS back-of-the-envelope, from measured numbers");
-  t.header({"quantity", "value"});
-
-  // Aggregate instruction/reference ratios over the four benchmarks.
+MlipsNumbers mlips_numbers(const ReportOptions& opt) {
+  // Aggregate instruction/reference ratios over the four benchmarks;
+  // every trace comes from the generate-once library (one emulator run
+  // per benchmark in the whole process, shared with Figure 4 etc).
+  TraceLibrary& lib = TraceLibrary::instance();
   double instr = 0, calls = 0, refs = 0;
-  std::shared_ptr<TraceBuffer> trace8;
+  std::shared_ptr<const GeneratedTrace> trace8;
   for (const std::string& n : small_bench_names()) {
-    BenchProgram bp = bench_program(n, opt.scale);
-    BenchRun r = run_parallel(bp, 8, n == "qsort");  // one trace for capture rate
-    instr += static_cast<double>(r.result.stats.instructions);
-    calls += static_cast<double>(r.result.stats.calls);
-    refs += static_cast<double>(r.result.stats.work_refs());
-    if (r.trace) trace8 = r.trace;
+    std::shared_ptr<const GeneratedTrace> g = lib.get(n, opt.scale, 8);
+    instr += static_cast<double>(g->stats.instructions);
+    calls += static_cast<double>(g->stats.calls);
+    refs += static_cast<double>(g->stats.work_refs());
+    if (n == "qsort") trace8 = g;  // one trace for the capture rate
   }
-  double instr_per_li = instr / calls;
-  double refs_per_instr = refs / instr;
 
-  double traffic = replay_traffic(paper_cache_config(Protocol::WriteInBroadcast), 8,
-                                  trace8->packed())
-                       .traffic_ratio();
+  MlipsNumbers out;
+  out.instr_per_inference = instr / calls;
+  out.refs_per_instr = refs / instr;
+  out.traffic_ratio =
+      replay_traffic(paper_cache_config(Protocol::WriteInBroadcast), 8,
+                     *trace8->trace)
+          .traffic_ratio();
 
   const double mlips = 2e6;
-  double bytes_per_li = instr_per_li * refs_per_instr * 4.0;
-  double demand = mlips * bytes_per_li;          // bytes/sec at 2 MLIPS
-  double bus = demand * traffic;                 // after cache capture
+  out.bytes_per_inference = out.instr_per_inference * out.refs_per_instr * 4.0;
+  double demand = mlips * out.bytes_per_inference;  // bytes/sec at 2 MLIPS
+  out.demand_mb_per_sec = demand / 1e6;
+  out.bus_mb_per_sec = demand * out.traffic_ratio / 1e6;
+  return out;
+}
 
-  t.row({"instructions / inference (paper: ~15)", fmt(instr_per_li, 2)});
-  t.row({"references / instruction (paper: ~3)", fmt(refs_per_instr, 2)});
-  t.row({"bytes / inference (paper: ~180)", fmt(bytes_per_li, 1)});
+TextTable mlips_report(const ReportOptions& opt) {
+  return mlips_report(mlips_numbers(opt));
+}
+
+TextTable mlips_report(const MlipsNumbers& m) {
+  TextTable t("Section 3.3: 2-MLIPS back-of-the-envelope, from measured numbers");
+  t.header({"quantity", "value"});
+  t.row({"instructions / inference (paper: ~15)", fmt(m.instr_per_inference, 2)});
+  t.row({"references / instruction (paper: ~3)", fmt(m.refs_per_instr, 2)});
+  t.row({"bytes / inference (paper: ~180)", fmt(m.bytes_per_inference, 1)});
   t.row({"demand bandwidth @2 MLIPS (paper: 360 MB/s)",
-         fmt(demand / 1e6, 1) + " MB/s"});
-  t.row({"traffic ratio, 8PE 1024w write-in bcast (paper: <0.3)", fmt(traffic, 3)});
-  t.row({"traffic captured by caches (paper: >70%)", fmt_pct(1.0 - traffic, 1)});
-  t.row({"required bus bandwidth (paper: ~108 MB/s)", fmt(bus / 1e6, 1) + " MB/s"});
+         fmt(m.demand_mb_per_sec, 1) + " MB/s"});
+  t.row({"traffic ratio, 8PE 1024w write-in bcast (paper: <0.3)",
+         fmt(m.traffic_ratio, 3)});
+  t.row({"traffic captured by caches (paper: >70%)",
+         fmt_pct(1.0 - m.traffic_ratio, 1)});
+  t.row({"required bus bandwidth (paper: ~108 MB/s)",
+         fmt(m.bus_mb_per_sec, 1) + " MB/s"});
   return t;
 }
 
@@ -222,12 +267,12 @@ std::vector<TextTable> timing_report(const ReportOptions& opt) {
                 std::to_string(opt.timing.write_buffer_depth) + ")");
     t.header({"PEs", "traffic", "speedup", "efficiency", "bus util",
               "M/D/1 speedup", "M/D/1 eff"});
-    BenchProgram bp = bench_program(name, opt.scale);
     std::vector<std::pair<unsigned, TimingStats>> runs;
     for (unsigned pes : opt.timing_pes) {
-      BenchRun r = run_parallel(bp, pes, /*want_trace=*/true);
+      std::shared_ptr<const GeneratedTrace> g =
+          TraceLibrary::instance().get(name, opt.scale, pes);
       TimedReplay tr(paper_cache_config(Protocol::WriteInBroadcast), pes, opt.timing);
-      tr.replay(r.trace->packed());
+      tr.replay(*g->trace);
       TimingStats ts = tr.timing();
       runs.emplace_back(pes, ts);
       BusEstimate e = bus_contention(pes, tr.traffic().traffic_ratio(), BusParams{s});

@@ -18,6 +18,12 @@ struct ReportOptions {
   std::vector<u32> fig4_sizes = {64, 128, 256, 512, 1024, 2048, 4096, 8192};
   std::vector<u32> table3_sizes = {512, 1024};
   unsigned pool_threads = 0;  ///< 0 = hardware concurrency
+  /// Figure 4 in streaming mode: replay consumers run concurrently
+  /// with trace generation over a bounded chunk window instead of
+  /// fanning out from stored chunk storage. Same numbers, O(window)
+  /// peak trace memory (docs/DESIGN.md §8).
+  bool fig4_streaming = false;
+  std::size_t stream_window = 8;  ///< chunks in flight in streaming mode
   /// Timed-replay report: PE counts and the bus being modelled. The
   /// default (1 cycle/word, 2-way interleave, 4-deep write buffers)
   /// matches the analytic model's s=0.5 "fast interleaved bus".
@@ -46,9 +52,24 @@ std::vector<TextTable> fig4_report(const ReportOptions& opt);
 /// (copyback traffic ratios at 512/1024 words; z-scores).
 TextTable table3_report(const ReportOptions& opt);
 
+/// The measured quantities behind mlips_report, exposed so the bench
+/// binary can archive them alongside host-side engine throughput
+/// (BENCH_engine.json).
+struct MlipsNumbers {
+  double instr_per_inference = 0;
+  double refs_per_instr = 0;
+  double bytes_per_inference = 0;
+  double demand_mb_per_sec = 0;  ///< bytes demanded per second at 2 MLIPS
+  double traffic_ratio = 0;      ///< 8 PE, 1024-word write-in broadcast
+  double bus_mb_per_sec = 0;     ///< demand bandwidth after cache capture
+};
+MlipsNumbers mlips_numbers(const ReportOptions& opt);
+
 /// §3.3: the 2-MLIPS bandwidth estimate recomputed from measured
-/// instruction/reference/traffic numbers.
+/// instruction/reference/traffic numbers. The MlipsNumbers overload
+/// lets a caller that also archives the numbers measure them once.
 TextTable mlips_report(const ReportOptions& opt);
+TextTable mlips_report(const MlipsNumbers& m);
 
 /// Timed replay vs. the analytic M/D/1 model: for each of the four
 /// paper benchmarks, measured speedup / efficiency / bus utilization

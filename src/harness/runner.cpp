@@ -14,9 +14,8 @@ AreaSizes bench_area_sizes() {
   return s;
 }
 
-namespace {
-BenchRun run_impl(const BenchProgram& bp, unsigned pes, bool strip, bool want_trace,
-                  unsigned max_solutions) {
+RunResult run_into(const BenchProgram& bp, unsigned pes, bool strip,
+                   TraceSink* sink, unsigned max_solutions) {
   Program prog;
   prog.consult(bp.source);
   MachineConfig cfg;
@@ -25,16 +24,19 @@ BenchRun run_impl(const BenchProgram& bp, unsigned pes, bool strip, bool want_tr
   cfg.strip_cge = strip;
   cfg.max_solutions = max_solutions;
   Machine m(prog, cfg);
+  RunResult res = m.solve(bp.goal + ".", sink);
+  if (!res.success)
+    fail("benchmark '" + bp.name + "' found no solution — broken program?");
+  return res;
+}
+
+namespace {
+BenchRun run_impl(const BenchProgram& bp, unsigned pes, bool strip, bool want_trace,
+                  unsigned max_solutions) {
   BenchRun out;
   out.name = bp.name;
-  if (want_trace) {
-    out.trace = std::make_shared<TraceBuffer>(/*busy_only=*/true);
-    out.result = m.solve(bp.goal + ".", out.trace.get());
-  } else {
-    out.result = m.solve(bp.goal + ".");
-  }
-  if (!out.result.success)
-    fail("benchmark '" + bp.name + "' found no solution — broken program?");
+  if (want_trace) out.trace = std::make_shared<TraceBuffer>(/*busy_only=*/true);
+  out.result = run_into(bp, pes, strip, out.trace.get(), max_solutions);
   return out;
 }
 }  // namespace

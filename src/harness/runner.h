@@ -27,4 +27,12 @@ BenchRun run_parallel(const BenchProgram& bp, unsigned pes, bool want_trace,
 /// Runs `bp` compiled as plain sequential WAM (annotations stripped).
 BenchRun run_wam(const BenchProgram& bp, bool want_trace, unsigned max_solutions = 1);
 
+/// Runs `bp` streaming every reference into `sink` at chunk
+/// granularity — nothing is materialized here. The caller picks the
+/// consumer: ChunkingSink (shared storage), StreamSink (concurrent
+/// replay), FileTraceSink (archive), CountingSink (counters only).
+/// `strip` compiles the sequential-WAM baseline, as run_wam does.
+RunResult run_into(const BenchProgram& bp, unsigned pes, bool strip,
+                   TraceSink* sink, unsigned max_solutions = 1);
+
 }  // namespace rapwam

@@ -1,0 +1,66 @@
+#include "harness/trace_lib.h"
+
+namespace rapwam {
+
+TraceLibrary& TraceLibrary::instance() {
+  static TraceLibrary lib;
+  return lib;
+}
+
+std::shared_ptr<const GeneratedTrace> TraceLibrary::get(const std::string& bench,
+                                                        BenchScale scale,
+                                                        unsigned pes, bool wam,
+                                                        unsigned max_solutions) {
+  Key key{bench, static_cast<int>(scale), pes, wam, max_solutions};
+  std::shared_future<std::shared_ptr<const GeneratedTrace>> fut;
+  std::promise<std::shared_ptr<const GeneratedTrace>> pr;
+  bool owner = false;
+  {
+    std::scoped_lock lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      fut = it->second;
+    } else {
+      fut = pr.get_future().share();
+      map_.emplace(key, fut);
+      owner = true;
+    }
+  }
+  if (owner) {
+    // Generate outside the lock so other keys generate concurrently.
+    try {
+      ChunkingSink sink(/*busy_only=*/true);
+      auto out = std::make_shared<GeneratedTrace>();
+      out->stats =
+          run_into(bench_program(bench, scale), pes, wam, &sink, max_solutions)
+              .stats;
+      out->trace = sink.take();
+      pr.set_value(std::move(out));
+    } catch (...) {
+      pr.set_exception(std::current_exception());
+      std::scoped_lock lk(mu_);
+      map_.erase(key);  // let a later call retry instead of caching the error
+    }
+  }
+  return fut.get();
+}
+
+void TraceLibrary::prefetch(ThreadPool& pool,
+                            const std::vector<std::string>& benches,
+                            const std::vector<unsigned>& pe_counts,
+                            BenchScale scale) {
+  std::vector<std::future<void>> futs;
+  for (const std::string& b : benches) {
+    for (unsigned pes : pe_counts) {
+      futs.push_back(pool.submit([this, b, scale, pes] { get(b, scale, pes); }));
+    }
+  }
+  for (std::future<void>& f : futs) f.get();
+}
+
+void TraceLibrary::clear() {
+  std::scoped_lock lk(mu_);
+  map_.clear();
+}
+
+}  // namespace rapwam

@@ -1,0 +1,63 @@
+// Generate-once trace library (docs/DESIGN.md §8).
+//
+// Sweeps and reports consume the same (benchmark × PE-count) reference
+// streams over and over: Figure 4 replays each one through dozens of
+// (protocol × cache-size) points, the timing and MLIPS reports replay
+// it again, and the bench binaries chain several reports in one
+// process. The library memoizes each generated trace as shared
+// immutable chunk storage keyed by exactly what determines the stream
+// (benchmark, scale, PE count, engine flavor, solution budget — the
+// emulator is deterministic in those), so every consumer fans out from
+// one generation run. Generation of *different* keys proceeds
+// concurrently: get() publishes a future under the lock and generates
+// outside it, so a ThreadPool can prefetch a whole sweep's traces at
+// once while duplicate requests wait instead of re-running.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "harness/runner.h"
+#include "support/thread_pool.h"
+#include "trace/chunks.h"
+
+namespace rapwam {
+
+/// A memoized generation run: the engine statistics of the run plus
+/// the busy-reference trace it emitted.
+struct GeneratedTrace {
+  RunStats stats;
+  std::shared_ptr<const ChunkedTrace> trace;
+};
+
+class TraceLibrary {
+ public:
+  /// Process-wide library (the bench binaries are single-report
+  /// processes; tests construct their own instances).
+  static TraceLibrary& instance();
+
+  /// The trace of `bench` at `pes` PEs, generating it on first use.
+  /// `wam` selects the stripped sequential baseline (run_wam).
+  std::shared_ptr<const GeneratedTrace> get(const std::string& bench,
+                                            BenchScale scale, unsigned pes,
+                                            bool wam = false,
+                                            unsigned max_solutions = 1);
+
+  /// Generates any missing (bench × pes) combinations on `pool` and
+  /// blocks until all are present. Subsequent get()s are hits.
+  void prefetch(ThreadPool& pool, const std::vector<std::string>& benches,
+                const std::vector<unsigned>& pe_counts, BenchScale scale);
+
+  /// Drops all memoized traces (tests / memory pressure).
+  void clear();
+
+ private:
+  using Key = std::tuple<std::string, int, unsigned, bool, unsigned>;
+
+  std::mutex mu_;
+  std::map<Key, std::shared_future<std::shared_ptr<const GeneratedTrace>>> map_;
+};
+
+}  // namespace rapwam

@@ -116,6 +116,10 @@ class TimedReplay {
   void step(const MemRef& r);
   void replay(const u64* packed, std::size_t n);
   void replay(const std::vector<u64>& packed) { replay(packed.data(), packed.size()); }
+  /// Replays shared immutable chunk storage in place (no flattening).
+  void replay(const ChunkedTrace& t) {
+    t.for_each_chunk([this](const u64* p, std::size_t n) { replay(p, n); });
+  }
 
   /// Coherence-side results: identical to an untimed replay.
   const TrafficStats& traffic() const { return sim_.stats(); }

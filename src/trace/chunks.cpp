@@ -1,0 +1,165 @@
+#include "trace/chunks.h"
+
+#include <algorithm>
+
+namespace rapwam {
+
+// --- ChunkedTrace ---------------------------------------------------------
+
+std::vector<u64> ChunkedTrace::to_packed() const {
+  std::vector<u64> out;
+  out.reserve(size_);
+  for (const std::vector<u64>& c : chunks_) out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+// --- ChunkingSink ---------------------------------------------------------
+
+ChunkingSink::ChunkingSink(bool busy_only)
+    : busy_only_(busy_only), trace_(std::make_shared<ChunkedTrace>()) {}
+
+void ChunkingSink::on_chunk(const u64* packed, std::size_t n) {
+  std::vector<std::vector<u64>>& chunks = trace_->chunks_;
+  for (std::size_t i = 0; i < n; ++i) {
+    MemRef r = MemRef::unpack(packed[i]);
+    trace_->counts_.add(r);
+    if (busy_only_ && !r.busy) continue;
+    if (chunks.empty() || chunks.back().size() == kChunkRefs) {
+      chunks.emplace_back();
+      chunks.back().reserve(kChunkRefs);
+    }
+    chunks.back().push_back(packed[i]);
+    ++trace_->size_;
+  }
+}
+
+std::shared_ptr<const ChunkedTrace> ChunkingSink::take() {
+  std::shared_ptr<const ChunkedTrace> out = std::move(trace_);
+  trace_ = std::make_shared<ChunkedTrace>();
+  return out;
+}
+
+// --- ChunkStream ----------------------------------------------------------
+
+ChunkStream::ChunkStream(unsigned num_consumers, std::size_t window_chunks)
+    : taken_(num_consumers, 0), window_chunks_(std::max<std::size_t>(1, window_chunks)) {}
+
+void ChunkStream::release_consumed() {
+  // A chunk leaves the window once every (still-attached) consumer has
+  // read past it; detached consumers sit at u64(-1) and never hold the
+  // window back.
+  u64 min_taken = ~u64(0);
+  for (u64 t : taken_) min_taken = std::min(min_taken, t);
+  bool released = false;
+  while (!window_.empty() && base_seq_ < min_taken) {
+    window_.pop_front();
+    ++base_seq_;
+    released = true;
+  }
+  if (released) can_push_.notify_all();
+}
+
+void ChunkStream::push(std::vector<u64> chunk) {
+  std::unique_lock lk(mu_);
+  can_push_.wait(lk, [&] { return window_.size() < window_chunks_ || closed_; });
+  if (closed_) return;
+  window_.push_back(std::make_shared<const std::vector<u64>>(std::move(chunk)));
+  peak_ = std::max(peak_, window_.size());
+  release_consumed();  // no consumers at all: drop immediately
+  can_pop_.notify_all();
+}
+
+void ChunkStream::close() {
+  std::scoped_lock lk(mu_);
+  closed_ = true;
+  can_pop_.notify_all();
+  can_push_.notify_all();
+}
+
+std::shared_ptr<const std::vector<u64>> ChunkStream::next(unsigned id) {
+  std::unique_lock lk(mu_);
+  RW_CHECK(id < taken_.size(), "chunk stream: bad consumer id");
+  u64 seq = taken_[id];
+  can_pop_.wait(lk, [&] { return seq < base_seq_ + window_.size() || closed_; });
+  if (seq >= base_seq_ + window_.size()) return nullptr;  // closed and drained
+  std::shared_ptr<const std::vector<u64>> c = window_[seq - base_seq_];
+  taken_[id] = seq + 1;
+  release_consumed();
+  return c;
+}
+
+void ChunkStream::detach(unsigned id) {
+  std::scoped_lock lk(mu_);
+  RW_CHECK(id < taken_.size(), "chunk stream: bad consumer id");
+  taken_[id] = ~u64(0);
+  release_consumed();
+}
+
+std::size_t ChunkStream::peak_chunks_in_flight() const {
+  std::scoped_lock lk(mu_);
+  return peak_;
+}
+
+// --- StreamSink -----------------------------------------------------------
+
+StreamSink::StreamSink(ChunkStream& stream, bool busy_only)
+    : stream_(stream), busy_only_(busy_only) {
+  cur_.reserve(kChunkRefs);
+}
+
+StreamSink::~StreamSink() { finish(); }
+
+void StreamSink::on_chunk(const u64* packed, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (busy_only_ && !MemRef::unpack(packed[i]).busy) continue;
+    cur_.push_back(packed[i]);
+    if (cur_.size() == kChunkRefs) {
+      stream_.push(std::move(cur_));
+      cur_ = {};
+      cur_.reserve(kChunkRefs);
+    }
+  }
+}
+
+void StreamSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!cur_.empty()) stream_.push(std::move(cur_));
+  stream_.close();
+}
+
+// --- FileTraceSink --------------------------------------------------------
+
+FileTraceSink::FileTraceSink(const std::string& path, bool busy_only)
+    : path_(path), f_(std::fopen(path.c_str(), "wb")), busy_only_(busy_only) {
+  if (!f_) fail("cannot open trace file for writing: " + path);
+}
+
+FileTraceSink::~FileTraceSink() {
+  if (f_) std::fclose(f_);  // errors already surfaced by close()
+}
+
+void FileTraceSink::on_chunk(const u64* packed, std::size_t n) {
+  RW_CHECK(f_, "write to a closed trace file sink");
+  // Filter into a small staging buffer so each chunk is one fwrite.
+  std::vector<u64> keep;
+  keep.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MemRef r = MemRef::unpack(packed[i]);
+    counts_.add(r);
+    if (!busy_only_ || r.busy) keep.push_back(packed[i]);
+  }
+  if (!keep.empty() &&
+      std::fwrite(keep.data(), sizeof(u64), keep.size(), f_) != keep.size())
+    fail("short write to trace file: " + path_);
+  written_ += keep.size();
+}
+
+void FileTraceSink::close() {
+  if (!f_) return;
+  int rc = std::fclose(f_);
+  f_ = nullptr;
+  if (rc != 0) fail("error closing trace file: " + path_);
+}
+
+}  // namespace rapwam

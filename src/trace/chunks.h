@@ -1,0 +1,163 @@
+// Shared immutable chunk storage and streaming fan-out for the trace
+// pipeline (docs/DESIGN.md §8).
+//
+// The generate-once/replay-many sweep path stores each generated trace
+// as a ChunkedTrace — fixed-size packed chunks plus generation-time
+// metadata (reference counters, PE span) — that any number of sweep
+// points replay concurrently without copying or rescanning. The
+// streaming path replaces storage entirely: a bounded single-producer
+// multi-consumer ChunkStream broadcasts chunks from the running
+// emulator to concurrent replay consumers, so peak memory is O(chunks
+// in flight) instead of O(trace length).
+#pragma once
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/tracebuf.h"
+
+namespace rapwam {
+
+/// Immutable-after-build packed reference stream in kChunkRefs-sized
+/// chunks. Metadata is recorded while the trace is generated, so
+/// consumers never rescan the stream for it.
+class ChunkedTrace {
+ public:
+  /// Retained references (after any busy-only filtering).
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t num_chunks() const { return chunks_.size(); }
+  const std::vector<u64>& chunk(std::size_t i) const { return chunks_[i]; }
+
+  /// Counters over everything the producer emitted (retained or not),
+  /// exactly as a TraceBuffer attached to the same run would count.
+  const RefCounts& counts() const { return counts_; }
+  /// PEs the trace was recorded on (metadata; no stream scan).
+  unsigned num_pes() const { return counts_.pes(); }
+
+  template <typename Fn>
+  void for_each_chunk(Fn&& fn) const {
+    for (const std::vector<u64>& c : chunks_) fn(c.data(), c.size());
+  }
+
+  /// Materialized flat copy — tests and trace-file output only; sweep
+  /// consumers replay the chunks in place.
+  std::vector<u64> to_packed() const;
+
+ private:
+  friend class ChunkingSink;
+  std::vector<std::vector<u64>> chunks_;
+  RefCounts counts_;
+  std::size_t size_ = 0;
+};
+
+/// Builds a ChunkedTrace from a reference stream (optionally keeping
+/// only busy references, which is what the cache simulators consume).
+class ChunkingSink : public TraceSink {
+ public:
+  explicit ChunkingSink(bool busy_only = true);
+  void on_chunk(const u64* packed, std::size_t n) override;
+
+  /// Hands the finished trace over; the sink is empty afterwards.
+  std::shared_ptr<const ChunkedTrace> take();
+
+ private:
+  bool busy_only_;
+  std::shared_ptr<ChunkedTrace> trace_;
+};
+
+/// Bounded single-producer multi-consumer broadcast of packed chunks.
+///
+/// Ordering: every consumer sees every chunk, in push order (the global
+/// trace order the emulator emitted). Backpressure: a chunk is released
+/// only once all consumers have taken it, and push() blocks while
+/// `window_chunks` chunks are outstanding, so the producer can run at
+/// most that far ahead of the slowest consumer and peak memory is
+/// O(window_chunks) regardless of trace length.
+class ChunkStream {
+ public:
+  static constexpr std::size_t kDefaultWindow = 8;
+
+  explicit ChunkStream(unsigned num_consumers,
+                       std::size_t window_chunks = kDefaultWindow);
+
+  // -- producer side
+  /// Blocks while the window is full. No-op after close().
+  void push(std::vector<u64> chunk);
+  /// Marks end-of-stream; consumers drain the window then see null.
+  void close();
+
+  // -- consumer side
+  /// Next chunk for consumer `id` (0-based), or nullptr at end of
+  /// stream. The returned pointer stays valid for as long as the caller
+  /// holds it, even after the window slides past the chunk.
+  std::shared_ptr<const std::vector<u64>> next(unsigned id);
+  /// Permanently unsubscribes consumer `id` (e.g. its simulator threw)
+  /// so the window no longer waits for it.
+  void detach(unsigned id);
+
+  unsigned num_consumers() const { return static_cast<unsigned>(taken_.size()); }
+  /// Most chunks ever outstanding at once; <= window_chunks by
+  /// construction (the bounded-memory guarantee, pinned by tests).
+  std::size_t peak_chunks_in_flight() const;
+
+ private:
+  void release_consumed();  // caller holds mu_
+
+  mutable std::mutex mu_;
+  std::condition_variable can_push_, can_pop_;
+  std::deque<std::shared_ptr<const std::vector<u64>>> window_;
+  u64 base_seq_ = 0;          ///< sequence number of window_.front()
+  std::vector<u64> taken_;    ///< per-consumer next sequence to read
+  std::size_t window_chunks_;
+  std::size_t peak_ = 0;
+  bool closed_ = false;
+};
+
+/// Re-chunks a reference stream (applying the busy-only filter) and
+/// pushes full chunks into a ChunkStream. finish() flushes the partial
+/// tail chunk and closes the stream; the destructor finishes too, so an
+/// exception on the producer side still unblocks the consumers.
+class StreamSink : public TraceSink {
+ public:
+  explicit StreamSink(ChunkStream& stream, bool busy_only = true);
+  ~StreamSink() override;
+  void on_chunk(const u64* packed, std::size_t n) override;
+  void finish();
+
+ private:
+  ChunkStream& stream_;
+  bool busy_only_;
+  bool finished_ = false;
+  std::vector<u64> cur_;
+};
+
+/// Appends packed chunks straight to a binary trace file (the
+/// save_trace format: 8 bytes per reference, host order). Recording a
+/// multi-million-reference trace this way needs O(chunk) memory —
+/// nothing is materialized.
+class FileTraceSink : public TraceSink {
+ public:
+  explicit FileTraceSink(const std::string& path, bool busy_only = true);
+  ~FileTraceSink() override;
+  void on_chunk(const u64* packed, std::size_t n) override;
+  /// Flushes and closes; throws on write failure. Idempotent.
+  void close();
+
+  u64 written() const { return written_; }
+  const RefCounts& counts() const { return counts_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  bool busy_only_;
+  u64 written_ = 0;
+  RefCounts counts_;
+};
+
+}  // namespace rapwam

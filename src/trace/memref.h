@@ -10,6 +10,8 @@
 //   bit  53      busy flag (PE was doing useful work, not idling/waiting)
 #pragma once
 
+#include <cstddef>
+
 #include "support/common.h"
 #include "trace/areas.h"
 
@@ -39,11 +41,31 @@ struct MemRef {
   }
 };
 
+/// References per pipeline chunk (64K refs = 512 KB of packed words):
+/// large enough that the virtual chunk handoff is negligible per
+/// reference, small enough that a bounded window of chunks in flight
+/// (streaming replay, trace/chunks.h) stays cache- and memory-friendly.
+inline constexpr std::size_t kChunkRefs = std::size_t(1) << 16;
+
 /// Sink interface the emulator writes references into.
+///
+/// The handoff is chunk-granular (docs/DESIGN.md §8): the emulator's
+/// memory bus accumulates packed references into a fixed-size chunk
+/// inline — no virtual call per reference — and dispatches here once
+/// per kChunkRefs references (plus a final flush at end of run). Chunk
+/// boundaries carry no meaning; `packed` holds `n` references in
+/// emission order and is only valid for the duration of the call.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
-  virtual void on_ref(const MemRef& r) = 0;
+  virtual void on_chunk(const u64* packed, std::size_t n) = 0;
+
+  /// Single-reference convenience for tests and adapters (one chunk of
+  /// one reference; not used on any hot path).
+  void on_ref(const MemRef& r) {
+    u64 p = r.pack();
+    on_chunk(&p, 1);
+  }
 };
 
 }  // namespace rapwam

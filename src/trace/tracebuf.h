@@ -30,11 +30,23 @@ struct RefCounts {
     by_class[static_cast<std::size_t>(r.cls)]++;
     if (r.pe < by_pe.size()) by_pe[r.pe]++;
   }
+
+  /// PEs the counted stream was recorded on (highest PE id seen + 1).
+  /// Metadata derived from the per-PE counters — consumers use this
+  /// instead of rescanning the packed stream (pes_in_trace is only for
+  /// trace *files*, which carry no metadata).
+  unsigned pes() const {
+    for (std::size_t i = by_pe.size(); i-- > 0;)
+      if (by_pe[i]) return static_cast<unsigned>(i) + 1;
+    return 1;
+  }
 };
 
 class CountingSink : public TraceSink {
  public:
-  void on_ref(const MemRef& r) override { counts_.add(r); }
+  void on_chunk(const u64* packed, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) counts_.add(MemRef::unpack(packed[i]));
+  }
   const RefCounts& counts() const { return counts_; }
 
  private:
@@ -45,15 +57,18 @@ class CountingSink : public TraceSink {
 /// what the paper feeds its cache simulators) and counts everything.
 class TraceBuffer : public TraceSink {
  public:
-  explicit TraceBuffer(bool busy_only = true) : busy_only_(busy_only) {}
+  explicit TraceBuffer(bool busy_only = true) : busy_only_(busy_only) {
+    // Traces run to millions of refs; skipping the vector's tiny first
+    // growth steps here (instead of checking per reference) keeps the
+    // append path branch-free beyond the busy filter.
+    packed_.reserve(kInitialReserve);
+  }
 
-  void on_ref(const MemRef& r) override {
-    counts_.add(r);
-    if (!busy_only_ || r.busy) {
-      // Traces run to millions of refs; skip the vector's tiny first
-      // growth steps (push_back's own doubling takes over from here).
-      if (packed_.empty()) packed_.reserve(kInitialReserve);
-      packed_.push_back(r.pack());
+  void on_chunk(const u64* packed, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      MemRef r = MemRef::unpack(packed[i]);
+      counts_.add(r);
+      if (!busy_only_ || r.busy) packed_.push_back(packed[i]);
     }
   }
 
@@ -62,6 +77,8 @@ class TraceBuffer : public TraceSink {
   void reserve(std::size_t refs) { packed_.reserve(refs); }
 
   const RefCounts& counts() const { return counts_; }
+  /// PEs the trace was recorded on (metadata; no stream scan).
+  unsigned num_pes() const { return counts_.pes(); }
   const std::vector<u64>& packed() const { return packed_; }
   std::size_t size() const { return packed_.size(); }
   MemRef at(std::size_t i) const { return MemRef::unpack(packed_[i]); }
@@ -81,6 +98,9 @@ void save_trace(const std::vector<u64>& packed, const std::string& path);
 std::vector<u64> load_trace(const std::string& path);
 
 /// Number of PEs a packed trace was recorded on (highest PE id + 1).
+/// Full-stream scan: only for traces loaded from files, which carry no
+/// metadata. In-process producers (TraceBuffer, ChunkedTrace) record
+/// the PE span at generation time — use their num_pes() instead.
 unsigned pes_in_trace(const std::vector<u64>& packed);
 
 }  // namespace rapwam

@@ -293,5 +293,18 @@ TEST(Engine, UnifyTwoQueryVars) {
   EXPECT_EQ(binding(r, "A"), binding(r, "B"));
 }
 
+TEST(Dispatch, ComputedGotoSelectedOnGnuCompilers) {
+  // The interpreter core must actually be the threaded-dispatch build
+  // wherever computed goto is available (GCC/Clang, i.e. both CI
+  // toolchains) — a silent fallback to the switch would quietly lose
+  // the dispatch optimisation. The macro escape hatch is exactly
+  // -DRAPWAM_FORCE_SWITCH_DISPATCH, which defines away this check.
+#if defined(__GNUC__) && !defined(RAPWAM_FORCE_SWITCH_DISPATCH)
+  EXPECT_TRUE(threaded_dispatch_enabled());
+#else
+  EXPECT_FALSE(threaded_dispatch_enabled());
+#endif
+}
+
 }  // namespace
 }  // namespace rapwam

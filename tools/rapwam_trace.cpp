@@ -18,6 +18,7 @@
 #include "cache/multisim.h"
 #include "cache/queueing.h"
 #include "harness/runner.h"
+#include "trace/chunks.h"
 #include "support/cli.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -45,9 +46,13 @@ int cmd_record(const Cli& cli) {
   std::string out = cli.get("out", bench + ".trc");
   BenchScale scale = cli.get("scale", "small") == "paper" ? BenchScale::Paper
                                                           : BenchScale::Small;
-  BenchRun r = run_parallel(bench_program(bench, scale), pes, /*want_trace=*/true);
-  save_trace(r.trace->packed(), out);
-  std::printf("wrote %zu references to %s\n", r.trace->size(), out.c_str());
+  // Chunks stream straight from the emulator to the file: recording a
+  // multi-million-reference trace needs O(chunk) memory.
+  FileTraceSink sink(out, /*busy_only=*/true);
+  run_into(bench_program(bench, scale), pes, /*strip=*/false, &sink);
+  sink.close();
+  std::printf("wrote %llu references to %s (recorded on %u PEs)\n",
+              (unsigned long long)sink.written(), out.c_str(), sink.counts().pes());
   return 0;
 }
 
