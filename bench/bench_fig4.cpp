@@ -9,6 +9,8 @@
 //   --streaming           replay concurrently with generation over a
 //                         bounded chunk window (O(window) trace memory)
 //   --window N            chunks in flight in streaming mode (default 8)
+//   --l2                  also sweep a shared L2 under the paper point
+//                         (size × inclusion policy; docs/DESIGN.md §9)
 #include <cstdio>
 
 #include "harness/reports.h"
@@ -23,6 +25,11 @@ int main(int argc, char** argv) {
   opt.fig4_streaming = cli.has("streaming");
   opt.stream_window = static_cast<std::size_t>(cli.get_int("window", 8));
   for (const rapwam::TextTable& t : rapwam::fig4_report(opt)) {
+    std::fputs(cli.has("csv") ? t.csv().c_str() : t.str().c_str(), stdout);
+    std::puts("");
+  }
+  if (cli.has("l2")) {
+    rapwam::TextTable t = rapwam::l2_report(opt);
     std::fputs(cli.has("csv") ? t.csv().c_str() : t.str().c_str(), stdout);
     std::puts("");
   }

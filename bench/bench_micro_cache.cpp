@@ -23,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "cache/multisim.h"
+#include "cache/hierarchy.h"
 #include "cache/refsim.h"
 #include "harness/runner.h"
 #include "timing/timed_replay.h"
@@ -86,6 +86,18 @@ struct TimedSim {
   const TrafficStats& stats() const { return tr.traffic(); }
 };
 
+/// HierCacheSim at the standard hierarchy point (paper_hier_config:
+/// 4096-word 8-way inclusive L2 — the same configuration the golden
+/// corpus pins), measured by the same harness. The disabled-L2 case is
+/// MultiCacheSim's own fast path, already covered.
+struct HierSim {
+  HierCacheSim sim;
+  HierSim(const CacheConfig& cfg, unsigned pes)
+      : sim(paper_hier_config(cfg.protocol), pes) {}
+  void replay(const std::vector<u64>& t) { sim.replay(t); }
+  const TrafficStats& stats() const { return sim.stats(); }
+};
+
 // --- part 1: JSON comparison harness --------------------------------------
 
 /// Replays `trace` through fresh simulators until >= `min_seconds` of
@@ -144,23 +156,30 @@ void emit_json(const std::string& path) {
       Timed fast = time_replay<MultiCacheSim>(cfg, pes, trace);
       Timed naive = time_replay<ReferenceCacheSim>(cfg, pes, trace);
       Timed timed = time_replay<TimedSim>(cfg, pes, trace);
+      Timed hier = time_replay<HierSim>(cfg, pes, trace);
       double refs_per_sec = static_cast<double>(trace.size()) / fast.seconds;
       double naive_refs_per_sec = static_cast<double>(trace.size()) / naive.seconds;
       double timed_refs_per_sec = static_cast<double>(trace.size()) / timed.seconds;
+      double hier_refs_per_sec = static_cast<double>(trace.size()) / hier.seconds;
       std::fprintf(f,
                    "%s    {\"protocol\": \"%s\", \"pes\": %u, \"refs\": %zu, "
                    "\"refs_per_sec\": %.0f, \"naive_refs_per_sec\": %.0f, "
-                   "\"timed_refs_per_sec\": %.0f, \"gen_refs_per_sec\": %.0f, "
-                   "\"speedup\": %.2f, \"traffic_ratio\": %.4f, \"miss_ratio\": %.4f}",
+                   "\"timed_refs_per_sec\": %.0f, \"hier_refs_per_sec\": %.0f, "
+                   "\"gen_refs_per_sec\": %.0f, "
+                   "\"speedup\": %.2f, \"traffic_ratio\": %.4f, \"miss_ratio\": %.4f, "
+                   "\"hier_mem_traffic_ratio\": %.4f}",
                    first ? "" : ",\n", protocol_name(p).c_str(), pes, trace.size(),
                    refs_per_sec, naive_refs_per_sec, timed_refs_per_sec,
-                   gen_refs_per_sec, refs_per_sec / naive_refs_per_sec,
-                   fast.stats.traffic_ratio(), fast.stats.miss_ratio());
+                   hier_refs_per_sec, gen_refs_per_sec,
+                   refs_per_sec / naive_refs_per_sec,
+                   fast.stats.traffic_ratio(), fast.stats.miss_ratio(),
+                   hier.stats.mem_traffic_ratio());
       first = false;
-      std::printf("%-22s %2u PEs  %7.2f Mrefs/s (naive %6.2f, %.2fx; timed %6.2f)\n",
+      std::printf("%-22s %2u PEs  %7.2f Mrefs/s (naive %6.2f, %.2fx; timed %6.2f; "
+                  "hier %6.2f)\n",
                   protocol_name(p).c_str(), pes, refs_per_sec / 1e6,
                   naive_refs_per_sec / 1e6, refs_per_sec / naive_refs_per_sec,
-                  timed_refs_per_sec / 1e6);
+                  timed_refs_per_sec / 1e6, hier_refs_per_sec / 1e6);
       std::fflush(stdout);
     }
   }
@@ -228,6 +247,25 @@ void BM_TimedReplay(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(refs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TimedReplay)
+    ->Args({static_cast<int>(Protocol::WriteInBroadcast), 4})
+    ->Args({static_cast<int>(Protocol::WriteInBroadcast), 8})
+    ->Args({static_cast<int>(Protocol::WriteInBroadcast), 16});
+
+void BM_HierReplay(benchmark::State& state) {
+  Protocol p = static_cast<Protocol>(state.range(0));
+  unsigned pes = static_cast<unsigned>(state.range(1));
+  const std::vector<u64>& t = shared_trace(pes).packed;
+  u64 refs = 0;
+  for (auto _ : state) {
+    HierCacheSim sim(paper_hier_config(p), pes);
+    sim.replay(t);
+    refs += sim.stats().refs;
+    benchmark::DoNotOptimize(sim.stats().mem_fetch_words);
+  }
+  state.counters["refs/s"] =
+      benchmark::Counter(static_cast<double>(refs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HierReplay)
     ->Args({static_cast<int>(Protocol::WriteInBroadcast), 4})
     ->Args({static_cast<int>(Protocol::WriteInBroadcast), 8})
     ->Args({static_cast<int>(Protocol::WriteInBroadcast), 16});

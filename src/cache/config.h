@@ -29,6 +29,40 @@ Protocol protocol_from_name(const std::string& s);
 /// validate inline.
 unsigned check_pes(unsigned pes);
 
+/// Optional shared second-level cache between the snooping bus and
+/// memory (docs/DESIGN.md §9). The paper models a single flat private
+/// cache per PE; every machine that ran this style of system at scale
+/// had a deeper hierarchy, and the L2 opens a new sweep dimension on
+/// top of the Figure-4 apparatus. size_words == 0 (the default) means
+/// no L2 — the flat paper model, bit-identical to the pre-hierarchy
+/// simulator.
+struct L2Config {
+  /// How the L2 relates to the private L1s above it.
+  enum class Inclusion : u8 {
+    /// Every valid L1 line is present in the L2; evicting an L2 line
+    /// back-invalidates it from all L1s (dirty L1 data joins the
+    /// memory writeback). The directory can then filter snoops with
+    /// L2-resident state only.
+    Inclusive,
+    /// L1 and L2 contents are independent; the L2 never touches L1
+    /// state, so bus-side traffic is identical to the flat model.
+    NonInclusive,
+  };
+
+  u32 size_words = 0;  ///< total L2 capacity; 0 = no L2 (flat model)
+  u32 ways = 8;        ///< set associativity; 0 = fully associative
+  Inclusion inclusion = Inclusion::Inclusive;
+  /// Extra PE wait cycles for a demand fill served by the L2 (on top
+  /// of the bus transfer); a fill that misses to memory pays
+  /// TimingParams::mem_extra_cycles instead.
+  u32 hit_extra_cycles = 0;
+
+  bool enabled() const { return size_words > 0; }
+  friend bool operator==(const L2Config&, const L2Config&) = default;
+};
+
+std::string inclusion_name(L2Config::Inclusion inc);
+
 struct CacheConfig {
   Protocol protocol = Protocol::WriteInBroadcast;
   u32 size_words = 1024;     ///< total capacity per PE cache
@@ -39,6 +73,8 @@ struct CacheConfig {
   /// associativity ablation quantifies how idealised the paper's
   /// fully-associative perfect-LRU assumption is.
   u32 ways = 0;
+  /// Shared L2 below the bus; disabled by default (paper's flat model).
+  L2Config l2;
 
   u32 num_lines() const { return size_words / line_words; }
   u32 num_sets() const {
@@ -64,6 +100,23 @@ inline CacheConfig paper_cache_config(Protocol p, u32 size_words = 1024) {
   cfg.size_words = size_words;
   cfg.line_words = 4;
   cfg.write_allocate = paper_write_allocate(p, size_words);
+  return cfg;
+}
+
+/// The standard hierarchy measurement point — the paper point plus a
+/// 4096-word 8-way shared L2 with a 2-cycle hit latency — shared by
+/// the golden corpus and bench_micro_cache so they keep describing the
+/// same configuration. Pair its hit_extra_cycles with a larger
+/// TimingParams::mem_extra_cycles when timing it, or the L2 would look
+/// slower than memory.
+inline CacheConfig paper_hier_config(
+    Protocol p = Protocol::WriteInBroadcast,
+    L2Config::Inclusion inc = L2Config::Inclusion::Inclusive) {
+  CacheConfig cfg = paper_cache_config(p, 1024);
+  cfg.l2.size_words = 4096;
+  cfg.l2.ways = 8;
+  cfg.l2.inclusion = inc;
+  cfg.l2.hit_extra_cycles = 2;
   return cfg;
 }
 

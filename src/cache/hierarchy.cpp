@@ -1,0 +1,208 @@
+#include "cache/hierarchy.h"
+
+#include <bit>
+
+namespace rapwam {
+
+HierCacheSim::HierCacheSim(const CacheConfig& cfg, unsigned num_pes)
+    : MultiCacheSim(cfg, num_pes) {
+  if (!cfg.l2.enabled()) return;
+  RW_CHECK(cfg.l2.size_words % cfg.line_words == 0,
+           "L2 size must be a multiple of the (shared) line size");
+  CacheConfig l2cfg;
+  l2cfg.size_words = cfg.l2.size_words;
+  l2cfg.line_words = cfg.line_words;
+  l2cfg.ways = cfg.l2.ways;
+  RW_CHECK(l2cfg.ways == 0 || l2cfg.num_lines() % l2cfg.ways == 0,
+           "L2 line count must be a multiple of its associativity");
+  RW_CHECK(l2cfg.num_lines() >= 1, "L2 must hold at least one line");
+  inclusive_ = cfg.l2.inclusion == L2Config::Inclusion::Inclusive;
+  l2_.emplace(l2cfg);
+}
+
+template <void (MultiCacheSim::*Handler)(const MemRef&)>
+void HierCacheSim::hier_access(const MemRef& r) {
+  // Run the unchanged flat handler, then route its memory-side words
+  // through the L2. The counter deltas identify the transaction: at
+  // most one of fetch/flush (the miss supply), plus word writes
+  // (write-through / update) and a dirty L1 eviction, all in the same
+  // reference.
+  u64 f0 = stats_.fetch_words, fl0 = stats_.flush_words,
+      wb0 = stats_.writeback_words,
+      w0 = stats_.writethrough_words + stats_.update_words;
+  last_evict_dirty_ = false;
+  count_ref(r);
+  (this->*Handler)(r);
+  l2_after_access(tag_of(r.addr), stats_.fetch_words - f0,
+                  stats_.flush_words - fl0, stats_.writeback_words - wb0,
+                  stats_.writethrough_words + stats_.update_words - w0);
+}
+
+template <void (MultiCacheSim::*Handler)(const MemRef&)>
+void HierCacheSim::hier_replay_loop(const u64* packed, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    hier_access<Handler>(MemRef::unpack(packed[i]));
+}
+
+void HierCacheSim::access(const MemRef& r) {
+  if (!l2_) {
+    MultiCacheSim::access(r);
+    return;
+  }
+  switch (cfg_.protocol) {
+    case Protocol::WriteThrough:
+      hier_access<&HierCacheSim::access_write_through>(r);
+      break;
+    case Protocol::Copyback:
+      hier_access<&HierCacheSim::access_copyback>(r);
+      break;
+    case Protocol::WriteInBroadcast:
+      hier_access<&HierCacheSim::access_write_in_broadcast>(r);
+      break;
+    case Protocol::WriteThroughBroadcast:
+      hier_access<&HierCacheSim::access_write_update_broadcast>(r);
+      break;
+    case Protocol::Hybrid:
+      hier_access<&HierCacheSim::access_hybrid>(r);
+      break;
+  }
+}
+
+StepOutcome HierCacheSim::step(const MemRef& r) {
+  if (!l2_) return MultiCacheSim::step(r);
+  const TrafficStats before = stats_;
+  access(r);
+  StepOutcome o;
+  o.miss = stats_.misses != before.misses;
+  u64 fetch = stats_.fetch_words - before.fetch_words;
+  u64 flush = stats_.flush_words - before.flush_words;
+  o.bus_words = stats_.bus_words - before.bus_words;
+  o.demand_words = fetch + flush;
+  // Back-invalidation broadcasts and flushes land here: fire-and-forget
+  // from the referencing PE's point of view, like evict writebacks.
+  o.posted_words = o.bus_words - o.demand_words;
+  o.invalidations = static_cast<u32>(stats_.invalidations - before.invalidations);
+  o.supplier = flush ? StepOutcome::Supplier::Cache
+               : fetch ? (stats_.l2_hits != before.l2_hits
+                              ? StepOutcome::Supplier::L2
+                              : StepOutcome::Supplier::Memory)
+                       : StepOutcome::Supplier::None;
+  return o;
+}
+
+void HierCacheSim::replay(const u64* packed, std::size_t n) {
+  if (!l2_) {
+    MultiCacheSim::replay(packed, n);  // flat fast path, untouched
+    return;
+  }
+  switch (cfg_.protocol) {
+    case Protocol::WriteThrough:
+      hier_replay_loop<&HierCacheSim::access_write_through>(packed, n);
+      break;
+    case Protocol::Copyback:
+      hier_replay_loop<&HierCacheSim::access_copyback>(packed, n);
+      break;
+    case Protocol::WriteInBroadcast:
+      hier_replay_loop<&HierCacheSim::access_write_in_broadcast>(packed, n);
+      break;
+    case Protocol::WriteThroughBroadcast:
+      hier_replay_loop<&HierCacheSim::access_write_update_broadcast>(packed, n);
+      break;
+    case Protocol::Hybrid:
+      hier_replay_loop<&HierCacheSim::access_hybrid>(packed, n);
+      break;
+  }
+}
+
+void HierCacheSim::l2_after_access(u64 tag, u64 fetch_d, u64 flush_d, u64 wb_d,
+                                   u64 word_d) {
+  if (fetch_d) {
+    // The flat model's "fetch from memory" probes the L2 first.
+    if (l2_->lookup(tag)) {
+      ++stats_.l2_hits;
+    } else {
+      ++stats_.l2_misses;
+      stats_.mem_fetch_words += L();
+      l2_fill(tag, LineState::Shared);  // clean: copy of memory
+    }
+  } else if (flush_d) {
+    // A cache-to-cache flush updates the level below the bus with the
+    // owner's data, exactly as it updates memory in the flat model;
+    // here that level is the (write-back) L2, so memory stays stale
+    // until the L2 line is evicted.
+    if (Line* l = l2_->lookup(tag)) l->state = LineState::Dirty;
+    else l2_fill(tag, LineState::Dirty);
+  }
+  if (word_d) {
+    // Write-through / update words: absorbed by an L2 hit, passed to
+    // memory on a miss. Word writes never allocate an L2 line (the
+    // rest of the line would have to be fetched to complete it).
+    if (Line* l = l2_->lookup(tag)) l->state = LineState::Dirty;
+    else stats_.mem_word_writes += word_d;
+  }
+  if (wb_d && last_evict_dirty_) {
+    // Dirty L1 eviction lands in the L2. Under inclusion the line is
+    // present by invariant; non-inclusive allocates it (write-back
+    // victim caching).
+    if (Line* l = l2_->lookup(last_evict_tag_)) l->state = LineState::Dirty;
+    else l2_fill(last_evict_tag_, LineState::Dirty);
+  }
+}
+
+void HierCacheSim::l2_fill(u64 tag, LineState st) {
+  Cache::Evicted ev = l2_->insert(tag, st);
+  if (!ev.valid) return;
+  bool dirty = ev.line.state == LineState::Dirty;
+  // Inclusive victim: kill the L1 copies; a dirty L1 copy holds the
+  // only current data, so it joins the victim's memory writeback.
+  if (inclusive_) dirty = back_invalidate(ev.line.tag) || dirty;
+  if (dirty) stats_.mem_writeback_words += L();
+}
+
+bool HierCacheSim::back_invalidate(u64 tag) {
+  bool any = false, dirty = false;
+  if (coherent_) {
+    DirEntry* e = dir_.find(tag);
+    if (!e) return false;
+    any = e->holders != 0;
+    dirty = e->dirty != 0;
+    u64 m = e->holders;
+    while (m) {
+      unsigned pe = static_cast<unsigned>(std::countr_zero(m));
+      m &= m - 1;
+      caches_[pe].invalidate(tag);
+    }
+    dir_.erase(tag);
+  } else {
+    // Copyback keeps no directory; probe every cache (back-invals are
+    // rare next to references, and copyback is the sequential baseline).
+    for (Cache& c : caches_) {
+      if (const Line* l = c.probe(tag)) {
+        any = true;
+        dirty = dirty || l->state == LineState::Dirty;
+        c.invalidate(tag);
+      }
+    }
+  }
+  if (any) {
+    // One address-only broadcast kills every copy (same bus cost as an
+    // invalidation broadcast in the flat protocols).
+    ++stats_.l2_back_invalidations;
+    stats_.bus_words += 1;
+  }
+  if (dirty) {
+    stats_.l2_back_inval_flush_words += L();
+    stats_.bus_words += L();
+  }
+  return dirty;
+}
+
+bool HierCacheSim::inclusion_ok() const {
+  if (!l2_ || !inclusive_) return true;
+  for (const Cache& c : caches_)
+    for (const Line& l : c.lines())
+      if (!l2_->probe(l.tag)) return false;
+  return true;
+}
+
+}  // namespace rapwam

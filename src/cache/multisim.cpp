@@ -26,6 +26,10 @@ Protocol protocol_from_name(const std::string& s) {
        " (write-thru|broadcast|update|hybrid|copyback)");
 }
 
+std::string inclusion_name(L2Config::Inclusion inc) {
+  return inc == L2Config::Inclusion::Inclusive ? "inclusive" : "non-inclusive";
+}
+
 unsigned check_pes(unsigned pes) {
   if (pes < 1 || pes > 64)
     fail("PE count must be 1..64 (the cache simulator's directory uses 64-bit "
@@ -135,6 +139,8 @@ void MultiCacheSim::fill(unsigned pe, u64 tag, LineState st) {
   if (ev.valid && ev.line.state == LineState::Dirty) {
     stats_.writeback_words += L();
     stats_.bus_words += L();
+    last_evict_tag_ = ev.line.tag;
+    last_evict_dirty_ = true;
   }
 }
 

@@ -40,11 +40,39 @@ struct TrafficStats {
   u64 flush_words = 0;       ///< dirty lines supplied cache-to-cache
   u64 coherence_violations = 0;  ///< hybrid: local-tagged line shared
 
+  // Hierarchy counters (cache/hierarchy.h; all zero in the flat model).
+  // The L2 sits between the bus and memory: the bus-side counters above
+  // are unchanged by it, and these decompose where memory-side traffic
+  // actually went.
+  u64 l2_hits = 0;           ///< line fills served by the shared L2
+  u64 l2_misses = 0;         ///< line fills that went through to memory
+  u64 mem_fetch_words = 0;   ///< L2 miss fills fetched from memory
+  u64 mem_writeback_words = 0;  ///< dirty L2 evictions written to memory
+  u64 mem_word_writes = 0;   ///< through/update words that missed the L2
+  u64 l2_back_invalidations = 0;  ///< inclusive-L2 victim back-invalidation
+                                  ///< broadcasts (1 bus word each)
+  u64 l2_back_inval_flush_words = 0;  ///< dirty L1 data flushed by back-invalidation
+
   double traffic_ratio() const {
     return refs ? static_cast<double>(bus_words) / static_cast<double>(refs) : 0.0;
   }
   double miss_ratio() const {
     return refs ? static_cast<double>(misses) / static_cast<double>(refs) : 0.0;
+  }
+  /// Words that actually reached memory. In the flat model every
+  /// memory-side word does (fetch + writeback + through/update); with
+  /// an L2, only what the L2 passed through.
+  u64 mem_words() const {
+    return mem_fetch_words + mem_writeback_words + mem_word_writes;
+  }
+  /// mem_words per processor reference — the hierarchy counterpart of
+  /// traffic_ratio, measuring what the L2 failed to capture.
+  double mem_traffic_ratio() const {
+    return refs ? static_cast<double>(mem_words()) / static_cast<double>(refs) : 0.0;
+  }
+  double l2_miss_ratio() const {
+    u64 fills = l2_hits + l2_misses;
+    return fills ? static_cast<double>(l2_misses) / static_cast<double>(fills) : 0.0;
   }
 
   friend bool operator==(const TrafficStats&, const TrafficStats&) = default;
@@ -54,8 +82,10 @@ struct TrafficStats {
 /// timing layers (src/timing) that need to know what the transaction
 /// did to the bus, not just the aggregate counters.
 struct StepOutcome {
-  /// Who supplied the line on a miss fill / read-for-ownership.
-  enum class Supplier : u8 { None, Memory, Cache };
+  /// Who supplied the line on a miss fill / read-for-ownership. L2 is
+  /// only reported by HierCacheSim (cache/hierarchy.h); the flat
+  /// simulator's memory-side fills are always Memory.
+  enum class Supplier : u8 { None, Memory, Cache, L2 };
 
   bool miss = false;
   Supplier supplier = Supplier::None;
@@ -104,7 +134,13 @@ class MultiCacheSim {
   /// masks must exactly mirror the lines each cache holds.
   bool directory_consistent() const;
 
- private:
+ protected:
+  // Protected rather than private: HierCacheSim (cache/hierarchy.h)
+  // layers a shared L2 on top by running the unchanged handlers below
+  // and then modelling the memory side of each reference — it needs
+  // the caches, the sharing directory (for directory-precise
+  // back-invalidation) and the counters, but overrides nothing.
+
   /// One sharing-directory entry, keyed by line tag. Bit i of each
   /// mask refers to PE i (hence the <= 64 PEs limit).
   struct DirEntry {
@@ -156,6 +192,12 @@ class MultiCacheSim {
   CacheConfig cfg_;
   bool coherent_ = true;  ///< false for Copyback: no directory upkeep
   std::vector<Cache> caches_;
+  /// Tag of the line the most recent fill() displaced dirty, if any.
+  /// Reset by the hierarchy layer before each reference so it can
+  /// route the writeback into the L2; meaningless (and unread)
+  /// otherwise.
+  u64 last_evict_tag_ = 0;
+  bool last_evict_dirty_ = false;
   /// The sharing directory: tag -> DirEntry, sized once to 2x the
   /// total line capacity of all caches (the number of distinct tags
   /// simultaneously cached is bounded by the number of line slots),

@@ -8,7 +8,9 @@ namespace rapwam {
 namespace {
 TrafficStats replay_point(const SweepPoint& p) {
   RW_CHECK(p.trace || p.chunks, "sweep point has no trace");
-  MultiCacheSim sim(p.cfg, p.num_pes);
+  // HierCacheSim with the L2 disabled delegates to the flat fast path,
+  // so every sweep point goes through the hierarchy-aware simulator.
+  HierCacheSim sim(p.cfg, p.num_pes);
   if (p.chunks) sim.replay(*p.chunks);
   else sim.replay(*p.trace);
   return sim.stats();
@@ -54,7 +56,7 @@ std::vector<SweepResult> run_sweep_streaming(
   for (unsigned i = 0; i < points.size(); ++i) {
     consumers.emplace_back([&, i] {
       try {
-        MultiCacheSim sim(points[i].cfg, points[i].num_pes);
+        HierCacheSim sim(points[i].cfg, points[i].num_pes);
         while (std::shared_ptr<const std::vector<u64>> c = stream.next(i))
           sim.replay(*c);
         out[i].stats = sim.stats();
@@ -85,14 +87,14 @@ std::vector<SweepResult> run_sweep_streaming(
 
 TrafficStats replay_traffic(const CacheConfig& cfg, unsigned num_pes,
                             const std::vector<u64>& trace) {
-  MultiCacheSim sim(cfg, num_pes);
+  HierCacheSim sim(cfg, num_pes);
   sim.replay(trace);
   return sim.stats();
 }
 
 TrafficStats replay_traffic(const CacheConfig& cfg, unsigned num_pes,
                             const ChunkedTrace& trace) {
-  MultiCacheSim sim(cfg, num_pes);
+  HierCacheSim sim(cfg, num_pes);
   sim.replay(trace);
   return sim.stats();
 }

@@ -15,12 +15,15 @@
 #include <functional>
 #include <vector>
 
-#include "cache/multisim.h"
+#include "cache/hierarchy.h"
 #include "support/thread_pool.h"
 
 namespace rapwam {
 
 struct SweepPoint {
+  /// cfg.l2 adds the hierarchy dimension (L2 size / ways / inclusion);
+  /// points replay through HierCacheSim, which is the flat simulator
+  /// whenever the L2 is disabled.
   CacheConfig cfg;
   unsigned num_pes = 1;
   /// The trace to replay: either a flat packed vector or shared chunk

@@ -157,6 +157,88 @@ std::vector<TextTable> fig4_report(const ReportOptions& opt) {
   return out;
 }
 
+TextTable l2_report(const ReportOptions& opt) {
+  std::vector<std::string> names = small_bench_names();
+  ThreadPool pool(opt.pool_threads);
+  TraceLibrary& lib = TraceLibrary::instance();
+  lib.prefetch(pool, names, {opt.l2_pes}, opt.scale);
+
+  // Config 0 is the flat baseline; then (size × inclusion) pairs.
+  std::vector<CacheConfig> cfgs;
+  CacheConfig base = paper_cache_config(Protocol::WriteInBroadcast, 1024);
+  cfgs.push_back(base);
+  for (u32 sz : opt.l2_sizes) {
+    for (L2Config::Inclusion inc : {L2Config::Inclusion::Inclusive,
+                                    L2Config::Inclusion::NonInclusive}) {
+      CacheConfig c = base;
+      c.l2.size_words = sz;
+      c.l2.ways = opt.l2_ways;
+      c.l2.inclusion = inc;
+      cfgs.push_back(c);
+    }
+  }
+
+  std::vector<std::shared_ptr<const GeneratedTrace>> keepalive;
+  std::vector<SweepPoint> points;
+  points.reserve(names.size() * cfgs.size());
+  for (const std::string& n : names) {
+    std::shared_ptr<const GeneratedTrace> t = lib.get(n, opt.scale, opt.l2_pes);
+    keepalive.push_back(t);
+    for (const CacheConfig& c : cfgs) {
+      SweepPoint sp;
+      sp.cfg = c;
+      sp.num_pes = opt.l2_pes;
+      sp.chunks = t->trace.get();
+      points.push_back(sp);
+    }
+  }
+  std::vector<SweepResult> results = run_sweep(pool, points);
+
+  // Mean each quantity over the benchmarks, per config (results are in
+  // input order: bench-major, config-minor).
+  struct Agg {
+    std::vector<double> bus, mem, l2_miss, backinv;
+  };
+  std::vector<Agg> agg(cfgs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TrafficStats& s = results[i].stats;
+    Agg& a = agg[i % cfgs.size()];
+    a.bus.push_back(s.traffic_ratio());
+    if (results[i].point.cfg.l2.enabled()) {
+      a.mem.push_back(s.mem_traffic_ratio());
+      a.l2_miss.push_back(s.l2_miss_ratio());
+      a.backinv.push_back(1000.0 * static_cast<double>(s.l2_back_invalidations) /
+                          static_cast<double>(s.refs));
+    } else {
+      // The flat model's memory traffic is everything on the bus except
+      // address-only invalidation broadcasts.
+      a.mem.push_back(static_cast<double>(s.bus_words - s.invalidations) /
+                      static_cast<double>(s.refs));
+    }
+  }
+
+  TextTable t("L2 sweep: shared L2 under " + std::to_string(opt.l2_pes) +
+              " PEs with 1024-word write-in-broadcast L1s (mean over "
+              "benchmarks; " +
+              std::to_string(opt.l2_ways) + "-way L2, 4-word lines)");
+  t.header({"L2 (words)", "bus tr", "mem tr incl", "L2 miss incl",
+            "back-inv/Kref", "mem tr non-incl", "L2 miss non-incl"});
+  t.row({"none", fmt(mean(agg[0].bus), 4), fmt(mean(agg[0].mem), 4), "-", "-",
+         fmt(mean(agg[0].mem), 4), "-"});
+  for (std::size_t i = 0; i < opt.l2_sizes.size(); ++i) {
+    const Agg& inc = agg[1 + 2 * i];
+    const Agg& non = agg[2 + 2 * i];
+    // Bus traffic only differs between policies via back-invalidation;
+    // quote the inclusive number (the non-inclusive one equals the
+    // flat baseline by construction).
+    t.row({std::to_string(opt.l2_sizes[i]), fmt(mean(inc.bus), 4),
+           fmt(mean(inc.mem), 4), fmt(mean(inc.l2_miss), 4),
+           fmt(mean(inc.backinv), 2), fmt(mean(non.mem), 4),
+           fmt(mean(non.l2_miss), 4)});
+  }
+  return t;
+}
+
 namespace {
 double sequential_traffic_ratio(const ChunkedTrace& trace, u32 size_words) {
   CacheConfig cfg;

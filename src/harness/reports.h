@@ -29,6 +29,17 @@ struct ReportOptions {
   /// matches the analytic model's s=0.5 "fast interleaved bus".
   std::vector<unsigned> timing_pes = {1, 2, 4, 8, 16};
   TimingParams timing = {1, 1, 2, 4};
+  /// L2 sweep (l2_report): shared-L2 sizes layered under the paper's
+  /// standard point (1024-word write-in-broadcast L1s), both inclusion
+  /// policies, mean over the four benchmarks at `l2_pes` PEs. The
+  /// default sizes start at the total L1 capacity of 8 PEs (8K words);
+  /// expect back-invalidation to decline with size but stay nonzero
+  /// until the L2 holds the whole working set — inclusion victims are
+  /// picked by L2 LRU, which sees only L1 misses, so L1-hot lines get
+  /// evicted even from an L2 several times the L1s' total size.
+  std::vector<u32> l2_sizes = {8192, 16384, 32768, 65536};
+  u32 l2_ways = 8;
+  unsigned l2_pes = 8;
 };
 
 /// Table 1: characteristics of RAP-WAM storage objects (architectural;
@@ -47,6 +58,14 @@ TextTable fig2_report(const ReportOptions& opt);
 /// size, per PE count — one table per protocol panel
 /// (write-in broadcast, hybrid, conventional write-through).
 std::vector<TextTable> fig4_report(const ReportOptions& opt);
+
+/// L2 hierarchy sweep (the dimension the paper's flat model stops
+/// short of): for each L2 size in `opt.l2_sizes`, mean bus-traffic
+/// ratio, memory-traffic ratio (what the L2 failed to capture), L2
+/// miss ratio and back-invalidation rate, for inclusive and
+/// non-inclusive policies, next to the flat no-L2 baseline
+/// (docs/DESIGN.md §9).
+TextTable l2_report(const ReportOptions& opt);
 
 /// Table 3: fit of the small benchmarks to the large sequential suite
 /// (copyback traffic ratios at 512/1024 words; z-scores).

@@ -6,7 +6,7 @@ namespace rapwam {
 
 TimedReplay::TimedReplay(const CacheConfig& cfg, unsigned num_pes,
                          const TimingParams& tp)
-    : sim_(cfg, num_pes), tp_(tp) {
+    : sim_(cfg, num_pes), tp_(tp), l2_extra_(cfg.l2.hit_extra_cycles) {
   RW_CHECK(tp.interleave >= 1, "timed replay: interleave must be >= 1");
   RW_CHECK(tp.cycles_per_ref >= 1, "timed replay: cycles_per_ref must be >= 1");
   pes_.resize(num_pes);
@@ -66,7 +66,31 @@ void TimedReplay::step(const MemRef& r) {
   while (!p.wbuf.empty() && p.wbuf.front() <= now) p.wbuf.pop_front();
 
   u64 svc = service_of(o.bus_words);
-  if (svc == 0) {  // cache hit, or a free (bus_service_cycles=0) bus
+
+  // Demand fills are counted and charged their supplier's latency
+  // (L2Config::hit_extra_cycles / TimingParams::mem_extra_cycles)
+  // whatever the bus speed — the extra cycles model the memory or L2
+  // device, not the bus, so even a free (bus_service_cycles == 0) bus
+  // does not waive them. The PE waits them out; the bus does not.
+  u64 extra = 0;
+  switch (o.supplier) {
+    case StepOutcome::Supplier::Cache: ++ts_.cache_fills; break;
+    case StepOutcome::Supplier::L2:
+      ++ts_.l2_fills;
+      extra = l2_extra_;
+      break;
+    case StepOutcome::Supplier::Memory:
+      ++ts_.mem_fills;
+      extra = tp_.mem_extra_cycles;
+      break;
+    case StepOutcome::Supplier::None: break;
+  }
+
+  if (svc == 0) {  // cache hit, or a free bus
+    if (extra) {
+      t.stall_cycles += extra;
+      now += extra;
+    }
     p.clock = now;
     return;
   }
@@ -105,7 +129,7 @@ void TimedReplay::step(const MemRef& r) {
       now = last;
     }
   }
-  u64 done = bus_reserve(now, svc);
+  u64 done = bus_reserve(now, svc) + extra;
   t.stall_cycles += done - now;
   p.clock = done;
 }

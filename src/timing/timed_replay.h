@@ -3,7 +3,8 @@
 // The paper stops at traffic ratios; Tick's queueing model (our
 // cache/queueing.h) predicts contention analytically. This subsystem
 // *measures* it instead: it replays the same global-order reference
-// trace through MultiCacheSim::step() and layers virtual time on top —
+// trace through HierCacheSim::step() (the flat MultiCacheSim whenever
+// no L2 is configured) and layers virtual time on top —
 // one clock per PE, a single shared bus kept as a timeline of busy
 // intervals (a word-granularity transaction is granted the earliest
 // free gap at/after its request time; requests for the same instant
@@ -21,7 +22,7 @@
 #include <map>
 #include <vector>
 
-#include "cache/multisim.h"
+#include "cache/hierarchy.h"
 
 namespace rapwam {
 
@@ -30,7 +31,9 @@ struct TimingParams {
   /// cycle" of the analytic model).
   u32 cycles_per_ref = 1;
   /// Bus + memory cycles per word moved, before interleaving.
-  /// 0 models an infinitely fast bus: no occupancy, no stalls.
+  /// 0 models an infinitely fast bus: no occupancy, no transfer
+  /// stalls (the per-fill extras below still apply — they model the
+  /// device behind the bus, not the bus).
   u32 bus_service_cycles = 1;
   /// Memory banks overlapping word transfers: an L-word transaction
   /// occupies the bus ceil(L * bus_service_cycles / interleave)
@@ -43,10 +46,21 @@ struct TimingParams {
   /// the buffer is full, or on its next demand miss (which drains the
   /// buffer first, preserving memory order). 0 = writes block.
   u32 write_buffer_depth = 0;
+  /// Extra PE wait cycles on a demand fill that goes all the way to
+  /// memory (an L2 miss, or every memory fill in the flat model). The
+  /// L2-hit counterpart lives in L2Config::hit_extra_cycles — together
+  /// they give the hierarchy its distinct L1-hit (cycles_per_ref
+  /// only) / L2-hit / memory latencies. The extra cycles delay the PE,
+  /// not the bus (the bus is released after the word transfer), and do
+  /// not apply to posted writes or cache-to-cache supplies. Default 0:
+  /// memory latency folded into bus_service_cycles, as the paper's
+  /// model has it.
+  u32 mem_extra_cycles = 0;
 
   /// Idealised bus: every transaction takes zero time. A TimedReplay
   /// with these parameters must behave exactly like the untimed
-  /// simulator (same TrafficStats, zero stalls).
+  /// simulator (same TrafficStats; zero stalls as long as the cache
+  /// config charges no L2 hit latency either).
   static TimingParams zero_cost() { return TimingParams{1, 0, 1, 0}; }
 
   /// Effective service time per word in PE cycles, as the analytic
@@ -68,6 +82,12 @@ struct TimingStats {
   u64 makespan = 0;           ///< virtual cycles until everything retired
   u64 bus_busy_cycles = 0;    ///< cycles the bus was occupied
   u64 bus_transactions = 0;
+  /// Demand fills by supplier: another PE's cache, the shared L2
+  /// (hierarchy only), or memory. cache_fills + l2_fills + mem_fills
+  /// is the total number of demand transactions.
+  u64 cache_fills = 0;
+  u64 l2_fills = 0;
+  u64 mem_fills = 0;
 
   u64 total_busy() const {
     u64 s = 0;
@@ -123,7 +143,7 @@ class TimedReplay {
 
   /// Coherence-side results: identical to an untimed replay.
   const TrafficStats& traffic() const { return sim_.stats(); }
-  const MultiCacheSim& sim() const { return sim_; }
+  const HierCacheSim& sim() const { return sim_; }
   const TimingParams& params() const { return tp_; }
 
   /// Timing results; computes the makespan over per-PE clocks and any
@@ -148,8 +168,9 @@ class TimedReplay {
   /// are already past them), bounding the timeline's size.
   void prune_timeline();
 
-  MultiCacheSim sim_;
+  HierCacheSim sim_;
   TimingParams tp_;
+  u32 l2_extra_ = 0;  ///< cfg.l2.hit_extra_cycles, cached
   std::vector<PeState> pes_;
   TimingStats ts_;
   /// Bus timeline: disjoint, coalesced busy intervals start -> end.

@@ -39,6 +39,19 @@ std::shared_ptr<const ChunkedTrace> ChunkingSink::take() {
   return out;
 }
 
+std::shared_ptr<const ChunkedTrace> load_chunked_trace(const std::string& path,
+                                                       bool busy_only) {
+  std::vector<u64> packed = load_trace(path);  // rejects sizes not 8-aligned
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    if (!packed_ref_valid(packed[i]))
+      fail("trace file " + path + ": corrupted record at index " +
+           std::to_string(i));
+  }
+  ChunkingSink sink(busy_only);
+  if (!packed.empty()) sink.on_chunk(packed.data(), packed.size());
+  return sink.take();
+}
+
 // --- ChunkStream ----------------------------------------------------------
 
 ChunkStream::ChunkStream(unsigned num_consumers, std::size_t window_chunks)

@@ -137,6 +137,17 @@ class StreamSink : public TraceSink {
   std::vector<u64> cur_;
 };
 
+/// Loads a binary trace file (the save_trace format) into shared
+/// immutable chunk storage. Every record is validated up front
+/// (packed_ref_valid: truncated or corrupted files fail cleanly with
+/// Error, never index per-class tables out of range) and the RefCounts
+/// metadata is built once here — consumers read num_pes()/counts()
+/// instead of rescanning the stream per use, which is what the
+/// full-scan pes_in_trace() helper used to cost every command that
+/// touched a loaded trace.
+std::shared_ptr<const ChunkedTrace> load_chunked_trace(const std::string& path,
+                                                       bool busy_only = false);
+
 /// Appends packed chunks straight to a binary trace file (the
 /// save_trace format: 8 bytes per reference, host order). Recording a
 /// multi-million-reference trace this way needs O(chunk) memory —

@@ -41,6 +41,17 @@ struct MemRef {
   }
 };
 
+/// True iff `v` is a well-formed packed record: nothing above the
+/// packed fields (bits 54..63 clear) and an in-range object class.
+/// pack() can only produce such words; trace *files* carry no other
+/// integrity metadata, so loaders must validate every record before
+/// anything indexes per-class tables with it (traits_of on an
+/// out-of-range class reads out of bounds).
+inline bool packed_ref_valid(u64 v) {
+  return (v >> 54) == 0 &&
+         ((v >> 48) & 0xF) < static_cast<u64>(ObjClass::kCount);
+}
+
 /// References per pipeline chunk (64K refs = 512 KB of packed words):
 /// large enough that the virtual chunk handoff is negligible per
 /// reference, small enough that a bounded window of chunks in flight

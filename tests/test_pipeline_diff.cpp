@@ -13,21 +13,12 @@
 
 #include "cache/sweep.h"
 #include "harness/runner.h"
+#include "test_rand.h"
 #include "timing/timed_replay.h"
 #include "trace/chunks.h"
 
 namespace rapwam {
 namespace {
-
-struct Lcg {
-  u64 s;
-  explicit Lcg(u64 seed) : s(seed * 0x9E3779B97F4A7C15ull + 1) {}
-  u64 next() {
-    s = s * 6364136223846793005ull + 1442695040888963407ull;
-    return s >> 24;
-  }
-  u64 next(u64 bound) { return next() % bound; }
-};
 
 /// Emits `n` randomized references into `sink` in odd-sized bursts
 /// (so chunk re-slicing is exercised), mixing busy and idle references

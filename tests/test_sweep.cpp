@@ -9,35 +9,10 @@
 #include <vector>
 
 #include "cache/sweep.h"
+#include "test_rand.h"
 
 namespace rapwam {
 namespace {
-
-struct Lcg {
-  u64 s;
-  explicit Lcg(u64 seed) : s(seed * 0x9E3779B97F4A7C15ull + 1) {}
-  u64 next() {
-    s = s * 6364136223846793005ull + 1442695040888963407ull;
-    return s >> 24;
-  }
-  u64 next(u64 bound) { return next() % bound; }
-};
-
-std::vector<u64> random_trace(u64 seed, unsigned pes, std::size_t n) {
-  Lcg rng(seed);
-  std::vector<u64> out;
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    MemRef r;
-    r.pe = static_cast<u8>(rng.next(pes));
-    r.addr = rng.next(3) == 0 ? rng.next(128) : 2048 + r.pe * 4096 + rng.next(1024);
-    r.cls = static_cast<ObjClass>(rng.next(kObjClassCount));
-    r.write = rng.next(4) == 0;
-    r.busy = true;
-    out.push_back(r.pack());
-  }
-  return out;
-}
 
 /// A small but heterogeneous sweep: every protocol, two cache sizes,
 /// two PE counts, two traces — 40 points with distinct labels.

@@ -10,44 +10,11 @@
 #include <vector>
 
 #include "cache/multisim.h"
+#include "test_rand.h"
 #include "timing/timed_replay.h"
 
 namespace rapwam {
 namespace {
-
-// Deterministic 64-bit LCG (MMIX constants); tests must not depend on
-// libc rand.
-struct Lcg {
-  u64 s;
-  explicit Lcg(u64 seed) : s(seed * 0x9E3779B97F4A7C15ull + 1) {}
-  u64 next() {
-    s = s * 6364136223846793005ull + 1442695040888963407ull;
-    return s >> 24;
-  }
-  u64 next(u64 bound) { return next() % bound; }
-};
-
-/// Random trace mixing a shared hot region with per-PE private
-/// regions, over all object classes (same shape as test_cache_diff).
-std::vector<u64> random_trace(u64 seed, unsigned pes, std::size_t n) {
-  Lcg rng(seed);
-  std::vector<u64> out;
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    MemRef r;
-    r.pe = static_cast<u8>(rng.next(pes));
-    if (rng.next(3) == 0) {
-      r.addr = rng.next(96);
-    } else {
-      r.addr = 4096 + r.pe * 8192 + rng.next(2048);
-    }
-    r.cls = static_cast<ObjClass>(rng.next(kObjClassCount));
-    r.write = rng.next(5) < 2;
-    r.busy = true;
-    out.push_back(r.pack());
-  }
-  return out;
-}
 
 const Protocol kAllProtocols[] = {
     Protocol::WriteThrough, Protocol::WriteInBroadcast,
@@ -259,6 +226,123 @@ TEST(TimedReplayProps, WriteBufferAbsorbsWriteThroughStalls) {
   buffered.replay(trace);
   EXPECT_LE(buffered.timing().total_stall(), blocking.timing().total_stall());
   EXPECT_LE(buffered.timing().makespan, blocking.timing().makespan);
+}
+
+// --- write-buffer edge cases ------------------------------------------------
+
+TEST(TimedReplayProps, WriteBufferDepthEdgeCases) {
+  // depth 0 (every write blocks), depth 1 (the smallest buffer that
+  // can overflow) and a deep buffer must all keep the per-PE
+  // accounting identity clock == busy + stall, and agree on the
+  // coherence results. Write-through maximises posted writes.
+  std::vector<u64> trace = random_trace(0xED6E, 8, 20000);
+  CacheConfig cfg = small_cfg(Protocol::WriteThrough);
+  MultiCacheSim untimed(cfg, 8);
+  untimed.replay(trace);
+  u64 prev_stall = ~u64(0);
+  for (u32 depth : {0u, 1u, 2u, 64u}) {
+    TimedReplay timed(cfg, 8, TimingParams{1, 2, 1, depth});
+    timed.replay(trace);
+    EXPECT_EQ(timed.traffic(), untimed.stats()) << "depth=" << depth;
+    TimingStats ts = timed.timing();
+    u64 stall = 0;
+    for (const PeTiming& pt : ts.pe) {
+      EXPECT_EQ(pt.clock, pt.busy_cycles + pt.stall_cycles)
+          << "depth=" << depth;
+      stall += pt.stall_cycles;
+    }
+    // A deeper buffer can only hide more write latency.
+    EXPECT_LE(stall, prev_stall) << "depth=" << depth;
+    prev_stall = stall;
+  }
+}
+
+TEST(TimedReplayProps, DepthOneOverflowDrainsOldestFirst) {
+  // A single PE issuing back-to-back posted writes through a 1-deep
+  // buffer: each write's bus slot is booked immediately, but the PE
+  // only waits when the buffer overflows — i.e. it runs one
+  // transaction ahead of the bus. With service 2 and issue 1, the bus
+  // falls behind by 1 cycle per write until the PE is fully
+  // bus-bound, and the LAST write's completion is never waited for
+  // (it drains past the PE's clock into the makespan).
+  CacheConfig cfg = small_cfg(Protocol::WriteThrough);
+  std::vector<u64> trace;
+  MemRef prime;  // read fill so every following write is a posted hit
+  prime.addr = 0;
+  prime.busy = true;
+  trace.push_back(prime.pack());
+  for (int i = 0; i < 8; ++i) {
+    MemRef r;
+    r.addr = 0;
+    r.write = true;
+    r.busy = true;
+    trace.push_back(r.pack());
+  }
+  TimedReplay timed(cfg, 1, TimingParams{1, 2, 1, 1});
+  timed.replay(trace);
+  TimingStats ts = timed.timing();
+  ASSERT_EQ(ts.pe.size(), 1u);
+  EXPECT_EQ(ts.pe[0].clock, ts.pe[0].busy_cycles + ts.pe[0].stall_cycles);
+  // One 4-word fill (8 busy cycles) + 8 posted words (2 each).
+  EXPECT_EQ(ts.bus_busy_cycles, 8u + 8u * 2);
+  EXPECT_EQ(ts.bus_transactions, 9u);
+  // The fill stalls 8; from the third write on, every overflow waits 1
+  // cycle for the oldest entry (the bus runs 2 cycles/write against a
+  // 2-cycle issue-to-issue distance once a stall lands). The final
+  // write is never waited for: it drains past the PE's clock, so the
+  // makespan extends beyond it.
+  EXPECT_GT(ts.makespan, ts.pe[0].clock);
+  // Blocking writes (depth 0) on the same trace stall strictly more
+  // and leave nothing in flight at the end.
+  TimedReplay blocking(cfg, 1, TimingParams{1, 2, 1, 0});
+  blocking.replay(trace);
+  EXPECT_GT(blocking.timing().total_stall(), ts.total_stall());
+  EXPECT_EQ(blocking.timing().makespan, blocking.timing().pe[0].clock);
+}
+
+TEST(TimedReplayProps, DemandMissDrainsWholeBufferBeforeFilling) {
+  // One PE: a run of posted writes (uncached lines with no-allocate
+  // would be simplest, but write-through write hits are posted too),
+  // then a read miss. The read must wait for every buffered write to
+  // drain (memory order), then for its own fill — so its stall covers
+  // the full backlog, and the buffer is empty afterwards (observable
+  // as: a second immediate read of another line stalls only for its
+  // own fill, not for any leftover writes).
+  CacheConfig cfg = small_cfg(Protocol::WriteThrough);
+  std::vector<u64> trace;
+  MemRef w;
+  w.addr = 0;
+  w.write = true;
+  w.busy = true;
+  MemRef r1;
+  r1.addr = 4096;
+  r1.busy = true;
+  MemRef r2;
+  r2.addr = 8192;
+  r2.busy = true;
+  // Prime the line, then 6 posted write hits, then two read misses.
+  MemRef prime;
+  prime.addr = 0;
+  prime.busy = true;
+  trace.push_back(prime.pack());
+  for (int i = 0; i < 6; ++i) trace.push_back(w.pack());
+  trace.push_back(r1.pack());
+  trace.push_back(r2.pack());
+
+  TimedReplay timed(cfg, 1, TimingParams{1, 2, 1, 8});
+  timed.replay(trace);
+  TimingStats ts = timed.timing();
+  ASSERT_EQ(ts.pe.size(), 1u);
+  EXPECT_EQ(ts.pe[0].clock, ts.pe[0].busy_cycles + ts.pe[0].stall_cycles);
+  EXPECT_EQ(ts.makespan, ts.pe[0].clock);  // demand misses drained the buffer
+  // Total bus occupancy: 3 fills (8 cycles each) + 6 words (2 each).
+  EXPECT_EQ(ts.bus_busy_cycles, 3u * 8 + 6u * 2);
+  EXPECT_EQ(ts.bus_transactions, 9u);
+  // The exact schedule: prime stalls 8; the six posted hits never
+  // stall (deep buffer); r1 drains the backlog (6 cycles, to the last
+  // write's completion at t=22) then waits its own 8-cycle fill; r2
+  // finds the buffer empty and waits only its own 8. Total 8+6+8+8.
+  EXPECT_EQ(ts.pe[0].stall_cycles, 30u);
 }
 
 TEST(TimedReplayProps, SaturationPeCountFindsFirstSaturatedRun) {

@@ -4,19 +4,28 @@
 //   rapwam_trace record --bench qsort --pes 4 --out qsort4.trc [--scale paper]
 //   rapwam_trace stats  qsort4.trc [--pes 4]
 //   rapwam_trace replay qsort4.trc --protocol broadcast --size 1024 [--pes 4]
+//                       [--l2 4096] [--l2-ways 8] [--l2-noninclusive]
 //   rapwam_trace time   qsort4.trc [--service 1] [--interleave 2] [--wbuf 4]
 //                       [--cpr 1] [--protocol broadcast] [--size 1024] [--pes 4]
+//                       [--l2 4096] [--l2-hit 2] [--mem-extra 10]
 //   rapwam_trace dump   qsort4.trc [--head 20]
+//   rapwam_trace golden [--update] [--dir PATH] [--bench NAME]
 //
 // `time` replays through the event-driven timed engine (per-PE clocks,
 // shared bus, write buffers — docs/DESIGN.md §7) and prints measured
-// speedup/stalls next to the analytic M/D/1 prediction.
+// speedup/stalls next to the analytic M/D/1 prediction. The --l2 flags
+// put the shared second-level cache of docs/DESIGN.md §9 between the
+// bus and memory. `golden` verifies the committed golden-stats corpus
+// (tests/golden/) against a live recomputation, or regenerates it with
+// --update after an intentional change.
 // Traces are the 8-byte packed records of src/trace/memref.h.
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
-#include "cache/multisim.h"
+#include "cache/hierarchy.h"
 #include "cache/queueing.h"
+#include "harness/golden.h"
 #include "harness/runner.h"
 #include "trace/chunks.h"
 #include "support/cli.h"
@@ -37,7 +46,37 @@ CacheConfig config_from_cli(const Cli& cli) {
   cfg.ways = static_cast<u32>(cli.get_int("ways", 0));
   cfg.write_allocate =
       cli.has("no-allocate") ? false : paper_write_allocate(cfg.protocol, cfg.size_words);
+  cfg.l2.size_words = static_cast<u32>(cli.get_int("l2", 0));
+  cfg.l2.ways = static_cast<u32>(cli.get_int("l2-ways", 8));
+  cfg.l2.inclusion = cli.has("l2-noninclusive") ? L2Config::Inclusion::NonInclusive
+                                                : L2Config::Inclusion::Inclusive;
+  // Both fill latencies default to 0 (the paper model: everything
+  // folded into the bus service time) so neither level looks slower
+  // than the other unless the user models latency explicitly — pass
+  // BOTH --l2-hit and --mem-extra, with --l2-hit the smaller.
+  cfg.l2.hit_extra_cycles = static_cast<u32>(cli.get_int("l2-hit", 0));
   return cfg;
+}
+
+void print_l2_stats(const CacheConfig& cfg, const TrafficStats& s) {
+  if (!cfg.l2.enabled()) return;
+  std::printf("  L2: %u words, %s, %s\n", cfg.l2.size_words,
+              cfg.l2.ways ? (std::to_string(cfg.l2.ways) + "-way").c_str()
+                          : "fully-associative",
+              inclusion_name(cfg.l2.inclusion).c_str());
+  std::printf("    L2 miss ratio  %.4f  (%llu hits / %llu misses)\n",
+              s.l2_miss_ratio(), (unsigned long long)s.l2_hits,
+              (unsigned long long)s.l2_misses);
+  std::printf("    memory words   %llu  (fetch %llu, writeback %llu, word %llu)"
+              "  ratio %.4f\n",
+              (unsigned long long)s.mem_words(),
+              (unsigned long long)s.mem_fetch_words,
+              (unsigned long long)s.mem_writeback_words,
+              (unsigned long long)s.mem_word_writes, s.mem_traffic_ratio());
+  if (s.l2_back_invalidations)
+    std::printf("    back-invalidations %llu  (%llu dirty-flush words)\n",
+                (unsigned long long)s.l2_back_invalidations,
+                (unsigned long long)s.l2_back_inval_flush_words);
 }
 
 int cmd_record(const Cli& cli) {
@@ -57,9 +96,11 @@ int cmd_record(const Cli& cli) {
 }
 
 int cmd_stats(const Cli& cli) {
-  std::vector<u64> t = load_trace(cli.positional().at(1));
-  RefCounts c;
-  for (u64 p : t) c.add(MemRef::unpack(p));
+  // One validated load builds all the metadata (counts, PE span);
+  // nothing below rescans the stream.
+  std::shared_ptr<const ChunkedTrace> t =
+      load_chunked_trace(cli.positional().at(1));
+  const RefCounts& c = t->counts();
   std::printf("references: %llu  (reads %llu / writes %llu)\n",
               (unsigned long long)c.total, (unsigned long long)c.reads,
               (unsigned long long)c.writes);
@@ -81,17 +122,18 @@ int cmd_stats(const Cli& cli) {
                   std::string(locality_name(traits_of(oc).locality))});
   }
   std::fputs(by_class.str().c_str(), stdout);
-  std::printf("PEs present: %u\n", pes_in_trace(t));
+  std::printf("PEs present: %u\n", t->num_pes());
   return 0;
 }
 
 int cmd_replay(const Cli& cli) {
-  std::vector<u64> t = load_trace(cli.positional().at(1));
+  std::shared_ptr<const ChunkedTrace> t =
+      load_chunked_trace(cli.positional().at(1));
   CacheConfig cfg = config_from_cli(cli);
   unsigned pes =
-      check_pes(static_cast<unsigned>(cli.get_int("pes", pes_in_trace(t))));
-  MultiCacheSim sim(cfg, pes);
-  sim.replay(t);
+      check_pes(static_cast<unsigned>(cli.get_int("pes", t->num_pes())));
+  HierCacheSim sim(cfg, pes);
+  sim.replay(*t);
   const TrafficStats& s = sim.stats();
   std::printf("%s, %u words, %u-word lines, %s, %u PEs\n",
               protocol_name(cfg.protocol).c_str(), cfg.size_words, cfg.line_words,
@@ -105,6 +147,7 @@ int cmd_replay(const Cli& cli) {
               (unsigned long long)s.writethrough_words,
               (unsigned long long)s.invalidations, (unsigned long long)s.update_words,
               (unsigned long long)s.flush_words);
+  print_l2_stats(cfg, s);
   if (s.coherence_violations)
     std::printf("  COHERENCE VIOLATIONS: %llu\n",
                 (unsigned long long)s.coherence_violations);
@@ -112,18 +155,20 @@ int cmd_replay(const Cli& cli) {
 }
 
 int cmd_time(const Cli& cli) {
-  std::vector<u64> t = load_trace(cli.positional().at(1));
+  std::shared_ptr<const ChunkedTrace> t =
+      load_chunked_trace(cli.positional().at(1));
   CacheConfig cfg = config_from_cli(cli);
   unsigned pes =
-      check_pes(static_cast<unsigned>(cli.get_int("pes", pes_in_trace(t))));
+      check_pes(static_cast<unsigned>(cli.get_int("pes", t->num_pes())));
   TimingParams tp;
   tp.cycles_per_ref = static_cast<u32>(cli.get_int("cpr", 1));
   tp.bus_service_cycles = static_cast<u32>(cli.get_int("service", 1));
   tp.interleave = static_cast<u32>(cli.get_int("interleave", 2));
   tp.write_buffer_depth = static_cast<u32>(cli.get_int("wbuf", 4));
+  tp.mem_extra_cycles = static_cast<u32>(cli.get_int("mem-extra", 0));
 
   TimedReplay sim(cfg, pes, tp);
-  sim.replay(t);
+  sim.replay(*t);
   TimingStats ts = sim.timing();
 
   std::printf("%s, %u words, %u-word lines, %u PEs; bus %u cycle(s)/word, "
@@ -139,6 +184,10 @@ int cmd_time(const Cli& cli) {
               ts.bus_utilization(), (unsigned long long)ts.bus_busy_cycles,
               (unsigned long long)ts.bus_transactions,
               ts.saturated() ? ", SATURATED" : "");
+  std::printf("  demand fills    cache %llu / L2 %llu / memory %llu\n",
+              (unsigned long long)ts.cache_fills,
+              (unsigned long long)ts.l2_fills, (unsigned long long)ts.mem_fills);
+  print_l2_stats(cfg, sim.traffic());
 
   TextTable per_pe("per PE");
   per_pe.header({"PE", "refs", "busy cycles", "stall cycles", "stall %", "retired at"});
@@ -161,6 +210,40 @@ int cmd_time(const Cli& cli) {
   return 0;
 }
 
+int cmd_golden(const Cli& cli) {
+  std::string dir = cli.get("dir", golden_dir());
+  std::vector<std::string> benches;
+  if (cli.has("bench")) benches.push_back(cli.get("bench", "qsort"));
+  else benches = small_bench_names();
+  bool update = cli.has("update");
+  if (update) std::filesystem::create_directories(dir);
+
+  int mismatched = 0;
+  for (const std::string& bench : benches) {
+    std::string path = dir + "/" + bench + ".json";
+    std::vector<GoldenEntry> live = golden_compute(bench);
+    if (update) {
+      write_text_file(path, golden_to_json(bench, live));
+      std::printf("wrote %s (%zu entries)\n", path.c_str(), live.size());
+      continue;
+    }
+    std::vector<GoldenEntry> golden = golden_from_json(read_text_file(path));
+    std::vector<std::string> diff = golden_diff(golden, live);
+    if (diff.empty()) {
+      std::printf("%-8s OK (%zu entries)\n", bench.c_str(), golden.size());
+    } else {
+      ++mismatched;
+      std::printf("%-8s DRIFTED (%zu mismatching lines):\n", bench.c_str(),
+                  diff.size());
+      for (const std::string& d : diff) std::printf("  %s\n", d.c_str());
+    }
+  }
+  if (mismatched)
+    std::printf("golden corpus drifted; regenerate with `rapwam_trace golden "
+                "--update` if intentional\n");
+  return mismatched ? 1 : 0;
+}
+
 int cmd_dump(const Cli& cli) {
   std::vector<u64> t = load_trace(cli.positional().at(1));
   i64 head = cli.get_int("head", 20);
@@ -181,7 +264,8 @@ int main(int argc, char** argv) {
   try {
     if (cli.positional().empty()) {
       std::puts(
-          "usage: rapwam_trace record|stats|replay|time|dump ... (see source header)");
+          "usage: rapwam_trace record|stats|replay|time|dump|golden ... "
+          "(see source header)");
       return 2;
     }
     const std::string& cmd = cli.positional()[0];
@@ -190,6 +274,7 @@ int main(int argc, char** argv) {
     if (cmd == "replay") return cmd_replay(cli);
     if (cmd == "time") return cmd_time(cli);
     if (cmd == "dump") return cmd_dump(cli);
+    if (cmd == "golden") return cmd_golden(cli);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
   } catch (const Error& e) {
