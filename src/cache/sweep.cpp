@@ -1,28 +1,47 @@
 #include "cache/sweep.h"
 
+#include <algorithm>
 #include <exception>
 #include <thread>
 
 namespace rapwam {
 
 namespace {
-TrafficStats replay_point(const SweepPoint& p) {
+TrafficStats replay_point(const SweepPoint& p, const CancelToken* cancel) {
   RW_CHECK(p.trace || p.chunks, "sweep point has no trace");
   // HierCacheSim with the L2 disabled delegates to the flat fast path,
   // so every sweep point goes through the hierarchy-aware simulator.
   HierCacheSim sim(p.cfg, p.num_pes);
-  if (p.chunks) sim.replay(*p.chunks);
-  else sim.replay(*p.trace);
+  if (!cancel) {
+    // No token: the original uninterrupted loops, nothing on the path.
+    if (p.chunks) sim.replay(*p.chunks);
+    else sim.replay(*p.trace);
+    return sim.stats();
+  }
+  // Cooperative cancellation at chunk granularity: one token check per
+  // kChunkRefs references, never per reference.
+  if (p.chunks) {
+    p.chunks->for_each_chunk([&](const u64* refs, std::size_t n) {
+      cancel->checkpoint();
+      sim.replay(refs, n);
+    });
+  } else {
+    for (std::size_t i = 0; i < p.trace->size(); i += kChunkRefs) {
+      cancel->checkpoint();
+      sim.replay(p.trace->data() + i, std::min(kChunkRefs, p.trace->size() - i));
+    }
+  }
   return sim.stats();
 }
 }  // namespace
 
 std::vector<SweepResult> run_sweep(ThreadPool& pool,
-                                   const std::vector<SweepPoint>& points) {
+                                   const std::vector<SweepPoint>& points,
+                                   const CancelToken* cancel) {
   std::vector<std::future<TrafficStats>> futs;
   futs.reserve(points.size());
   for (const SweepPoint& p : points) {
-    futs.push_back(pool.submit([p]() { return replay_point(p); }));
+    futs.push_back(pool.submit([p, cancel]() { return replay_point(p, cancel); }));
   }
   std::vector<SweepResult> out;
   out.reserve(points.size());
@@ -35,7 +54,7 @@ std::vector<SweepResult> run_sweep(ThreadPool& pool,
 std::vector<SweepResult> run_sweep_streaming(
     const std::vector<SweepPoint>& points,
     const std::function<void(TraceSink&)>& produce, bool busy_only,
-    std::size_t window_chunks) {
+    std::size_t window_chunks, const CancelToken* cancel) {
   std::vector<SweepResult> out;
   out.reserve(points.size());
   for (const SweepPoint& p : points) out.push_back(SweepResult{p, {}});
@@ -57,8 +76,10 @@ std::vector<SweepResult> run_sweep_streaming(
     consumers.emplace_back([&, i] {
       try {
         HierCacheSim sim(points[i].cfg, points[i].num_pes);
-        while (std::shared_ptr<const std::vector<u64>> c = stream.next(i))
+        while (std::shared_ptr<const std::vector<u64>> c = stream.next(i)) {
+          if (cancel) cancel->checkpoint();
           sim.replay(*c);
+        }
         out[i].stats = sim.stats();
       } catch (...) {
         errors[i] = std::current_exception();
@@ -70,8 +91,12 @@ std::vector<SweepResult> run_sweep_streaming(
   std::exception_ptr produce_error;
   {
     StreamSink sink(stream, busy_only);
+    // Cancellation aborts the producer too (the generation run), so an
+    // expired request doesn't keep emulating into a window nobody will
+    // drain past the consumers' own checkpoints.
+    CancelCheckSink checked(sink, cancel);
     try {
-      produce(sink);
+      produce(checked);
     } catch (...) {
       produce_error = std::current_exception();
     }

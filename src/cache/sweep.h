@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cache/hierarchy.h"
+#include "support/cancel.h"
 #include "support/thread_pool.h"
 
 namespace rapwam {
@@ -40,8 +41,14 @@ struct SweepResult {
 };
 
 /// Runs every point (each an independent cache simulation) on `pool`.
-/// Results are returned in input order.
-std::vector<SweepResult> run_sweep(ThreadPool& pool, const std::vector<SweepPoint>& points);
+/// Results are returned in input order. `cancel` (optional) is checked
+/// at chunk granularity inside every point's replay loop; once it
+/// fires, remaining points stop early and run_sweep rethrows the
+/// CancelledError — the server's per-request deadline path
+/// (docs/DESIGN.md §10).
+std::vector<SweepResult> run_sweep(ThreadPool& pool,
+                                   const std::vector<SweepPoint>& points,
+                                   const CancelToken* cancel = nullptr);
 
 /// Streaming fan-out: `produce` runs on the calling thread and emits
 /// the whole reference stream into the sink it is handed (typically by
@@ -58,7 +65,8 @@ std::vector<SweepResult> run_sweep(ThreadPool& pool, const std::vector<SweepPoin
 std::vector<SweepResult> run_sweep_streaming(
     const std::vector<SweepPoint>& points,
     const std::function<void(TraceSink&)>& produce, bool busy_only = true,
-    std::size_t window_chunks = ChunkStream::kDefaultWindow);
+    std::size_t window_chunks = ChunkStream::kDefaultWindow,
+    const CancelToken* cancel = nullptr);
 
 /// One-point convenience used by the reports and benches: replays
 /// `trace` through a fresh simulator and returns its traffic counters.

@@ -1,5 +1,7 @@
 #include "harness/trace_lib.h"
 
+#include <chrono>
+
 namespace rapwam {
 
 TraceLibrary& TraceLibrary::instance() {
@@ -7,10 +9,9 @@ TraceLibrary& TraceLibrary::instance() {
   return lib;
 }
 
-std::shared_ptr<const GeneratedTrace> TraceLibrary::get(const std::string& bench,
-                                                        BenchScale scale,
-                                                        unsigned pes, bool wam,
-                                                        unsigned max_solutions) {
+std::shared_ptr<const GeneratedTrace> TraceLibrary::get(
+    const std::string& bench, BenchScale scale, unsigned pes, bool wam,
+    unsigned max_solutions, const CancelToken* cancel) {
   Key key{bench, static_cast<int>(scale), pes, wam, max_solutions};
   std::shared_future<std::shared_ptr<const GeneratedTrace>> fut;
   std::promise<std::shared_ptr<const GeneratedTrace>> pr;
@@ -30,16 +31,38 @@ std::shared_ptr<const GeneratedTrace> TraceLibrary::get(const std::string& bench
     // Generate outside the lock so other keys generate concurrently.
     try {
       ChunkingSink sink(/*busy_only=*/true);
+      // The cancellation checkpoint rides the chunk handoff: one check
+      // per kChunkRefs emitted references, nothing per reference.
+      CancelCheckSink checked(sink, cancel);
       auto out = std::make_shared<GeneratedTrace>();
-      out->stats =
-          run_into(bench_program(bench, scale), pes, wam, &sink, max_solutions)
-              .stats;
+      out->stats = run_into(bench_program(bench, scale), pes, wam, &checked,
+                            max_solutions)
+                       .stats;
       out->trace = sink.take();
       pr.set_value(std::move(out));
     } catch (...) {
+      // Error-aware memoization: evict BEFORE publishing the failure.
+      // Once set_exception runs, anyone holding the future sees the
+      // error — if the key were still mapped at that point, a racing
+      // get() could pick up the poisoned future instead of retrying.
+      // Eviction first means every requester that arrives from now on
+      // regenerates; only the ones already waiting share this failure.
+      {
+        std::scoped_lock lk(mu_);
+        map_.erase(key);
+        ++failed_;
+      }
       pr.set_exception(std::current_exception());
-      std::scoped_lock lk(mu_);
-      map_.erase(key);  // let a later call retry instead of caching the error
+    }
+  } else if (cancel && (cancel->has_deadline() || cancel->cancelled())) {
+    // Waiting on someone else's generation: bound the wait, not the
+    // work. Polling in short slices keeps explicit cancel() responsive
+    // without a waiter registry on the shared future.
+    for (;;) {
+      cancel->checkpoint();
+      auto slice = std::min(cancel->remaining() + std::chrono::milliseconds(1),
+                            std::chrono::milliseconds(20));
+      if (fut.wait_for(slice) == std::future_status::ready) break;
     }
   }
   return fut.get();
@@ -61,6 +84,16 @@ void TraceLibrary::prefetch(ThreadPool& pool,
 void TraceLibrary::clear() {
   std::scoped_lock lk(mu_);
   map_.clear();
+}
+
+std::size_t TraceLibrary::size() const {
+  std::scoped_lock lk(mu_);
+  return map_.size();
+}
+
+u64 TraceLibrary::failed_generations() const {
+  std::scoped_lock lk(mu_);
+  return failed_;
 }
 
 }  // namespace rapwam

@@ -12,6 +12,16 @@
 // concurrently: get() publishes a future under the lock and generates
 // outside it, so a ThreadPool can prefetch a whole sweep's traces at
 // once while duplicate requests wait instead of re-running.
+//
+// Memoization is error-aware (docs/DESIGN.md §10): a generation that
+// throws — bad benchmark name, engine resource exhaustion, a
+// cancelled request aborting the run mid-stream — is evicted from the
+// map *before* its exception is published, so the broken future can
+// never be handed to a later requester. Requesters that were already
+// waiting share the failure (they asked for exactly that run); the
+// next get() of the same key regenerates from scratch. Without the
+// eviction, one bad request would poison the key for the life of the
+// process — the failure mode the resident server exists to survive.
 #pragma once
 
 #include <future>
@@ -20,6 +30,7 @@
 #include <mutex>
 
 #include "harness/runner.h"
+#include "support/cancel.h"
 #include "support/thread_pool.h"
 #include "trace/chunks.h"
 
@@ -35,15 +46,24 @@ struct GeneratedTrace {
 class TraceLibrary {
  public:
   /// Process-wide library (the bench binaries are single-report
-  /// processes; tests construct their own instances).
+  /// processes; the server shares it across requests; tests construct
+  /// their own instances).
   static TraceLibrary& instance();
 
   /// The trace of `bench` at `pes` PEs, generating it on first use.
   /// `wam` selects the stripped sequential baseline (run_wam).
+  ///
+  /// `cancel` (optional) bounds the call: if this get() is the one
+  /// generating, the run is checkpointed at chunk granularity and an
+  /// aborted generation is evicted (a later get() retries); if it is
+  /// waiting on another requester's generation, only the *wait* is
+  /// bounded — the generation itself keeps running and lands in the
+  /// cache for whoever asks next.
   std::shared_ptr<const GeneratedTrace> get(const std::string& bench,
                                             BenchScale scale, unsigned pes,
                                             bool wam = false,
-                                            unsigned max_solutions = 1);
+                                            unsigned max_solutions = 1,
+                                            const CancelToken* cancel = nullptr);
 
   /// Generates any missing (bench × pes) combinations on `pool` and
   /// blocks until all are present. Subsequent get()s are hits.
@@ -53,11 +73,18 @@ class TraceLibrary {
   /// Drops all memoized traces (tests / memory pressure).
   void clear();
 
+  /// Memoized entries currently live (includes in-flight generations).
+  std::size_t size() const;
+  /// Generations that threw and were evicted since construction
+  /// (server stats / tests).
+  u64 failed_generations() const;
+
  private:
   using Key = std::tuple<std::string, int, unsigned, bool, unsigned>;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::map<Key, std::shared_future<std::shared_ptr<const GeneratedTrace>>> map_;
+  u64 failed_ = 0;
 };
 
 }  // namespace rapwam

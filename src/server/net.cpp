@@ -1,0 +1,262 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rapwam {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  fail(what + ": " + std::strerror(errno));
+}
+
+void fill_unix(sockaddr_un& sa, const std::string& path) {
+  std::memset(&sa, 0, sizeof sa);
+  sa.sun_family = AF_UNIX;
+  if (path.size() >= sizeof sa.sun_path)
+    fail("unix socket path too long: " + path);
+  std::memcpy(sa.sun_path, path.c_str(), path.size());
+}
+
+void fill_tcp(sockaddr_in& sa, const std::string& host, int port) {
+  std::memset(&sa, 0, sizeof sa);
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<u16>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1)
+    fail("bad IPv4 address: " + host);
+}
+
+/// Waits for readability/writability with a timeout; returns false on
+/// timeout. `timeout_ms` < 0 waits forever.
+bool wait_fd(int fd, short events, int timeout_ms) {
+  pollfd p{fd, events, 0};
+  for (;;) {
+    int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) sys_fail("poll");
+  }
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.path = spec.substr(5);
+  } else if (spec.rfind("tcp:", 0) == 0) {
+    ep.is_unix = false;
+    std::string rest = spec.substr(4);
+    std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      ep.host = "127.0.0.1";
+    } else {
+      ep.host = rest.substr(0, colon);
+      rest = rest.substr(colon + 1);
+    }
+    try {
+      ep.port = std::stoi(rest);
+    } catch (...) {
+      fail("bad tcp endpoint (want tcp:PORT or tcp:HOST:PORT): " + spec);
+    }
+    // Port 0 is allowed: a listener binds an ephemeral port and
+    // reports the real one via endpoint().
+    if (ep.port < 0 || ep.port > 65535) fail("tcp port out of range: " + spec);
+  } else if (spec.find('/') != std::string::npos) {
+    ep.path = spec;  // bare path: unix socket
+  } else {
+    fail("bad endpoint (want unix:/path or tcp:[HOST:]PORT): " + spec);
+  }
+  if (ep.is_unix && ep.path.empty()) fail("empty unix socket path");
+  return ep;
+}
+
+std::string Endpoint::str() const {
+  return is_unix ? "unix:" + path : "tcp:" + host + ":" + std::to_string(port);
+}
+
+// --- Socket ---------------------------------------------------------------
+
+Socket::Socket(Socket&& o) noexcept : fd_(o.fd_), buf_(std::move(o.buf_)) {
+  o.fd_ = -1;
+}
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    buf_ = std::move(o.buf_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+Socket Socket::connect(const Endpoint& ep, int timeout_ms) {
+  int fd = ::socket(ep.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  Socket s(fd);
+  // Non-blocking connect so the timeout covers connection setup too
+  // (a wedged server must not hang the client forever).
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc;
+  if (ep.is_unix) {
+    sockaddr_un sa;
+    fill_unix(sa, ep.path);
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa);
+  } else {
+    sockaddr_in sa;
+    fill_tcp(sa, ep.host, ep.port);
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa);
+  }
+  if (rc != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN)
+      sys_fail("connect to " + ep.str());
+    if (!wait_fd(fd, POLLOUT, timeout_ms))
+      fail("connect to " + ep.str() + ": timed out");
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      errno = err ? err : EIO;
+      sys_fail("connect to " + ep.str());
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking; reads poll explicitly
+  return s;
+}
+
+void Socket::send_all(const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_line(std::string& line, std::size_t max_bytes, int timeout_ms) {
+  for (;;) {
+    std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    if (buf_.size() > max_bytes)
+      fail("line exceeds " + std::to_string(max_bytes) + " bytes");
+    if (timeout_ms >= 0 && !wait_fd(fd_, POLLIN, timeout_ms))
+      fail("recv: timed out");
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("recv");
+    }
+    if (n == 0) {
+      if (buf_.empty()) return false;  // clean EOF between lines
+      fail("connection closed mid-line");
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+// --- Listener -------------------------------------------------------------
+
+Listener::Listener(const Endpoint& ep, int backlog) : ep_(ep) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) sys_fail("pipe");
+  wake_r_ = pipefd[0];
+  wake_w_ = pipefd[1];
+
+  fd_ = ::socket(ep.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) sys_fail("socket");
+  if (ep.is_unix) {
+    ::unlink(ep.path.c_str());  // stale socket from a dead server
+    sockaddr_un sa;
+    fill_unix(sa, ep.path);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0)
+      sys_fail("bind " + ep.str());
+  } else {
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in sa;
+    fill_tcp(sa, ep.host.empty() ? "127.0.0.1" : ep.host, ep.port);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0)
+      sys_fail("bind " + ep.str());
+    if (ep.port == 0) {  // ephemeral port: report what we got
+      socklen_t len = sizeof sa;
+      if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) == 0)
+        ep_.port = ntohs(sa.sin_port);
+    }
+  }
+  if (::listen(fd_, backlog) != 0) sys_fail("listen " + ep.str());
+}
+
+Listener::~Listener() {
+  stop();
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+  if (ep_.is_unix) ::unlink(ep_.path.c_str());
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_r_, POLLIN, 0}};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("poll(accept)");
+    }
+    if (fds[1].revents) return Socket();  // stop requested
+    if (!(fds[0].revents & POLLIN)) continue;
+    int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      sys_fail("accept");
+    }
+    return Socket(cfd);
+  }
+}
+
+void Listener::stop() { notify_stop_async(); }
+
+void Listener::notify_stop_async() {
+  if (wake_w_ >= 0) {
+    char b = 's';
+    // write() is async-signal-safe; ignore the result — a full pipe
+    // means a wake-up is already pending.
+    [[maybe_unused]] ssize_t rc = ::write(wake_w_, &b, 1);
+  }
+}
+
+}  // namespace rapwam

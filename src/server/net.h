@@ -1,0 +1,98 @@
+// Minimal POSIX socket layer for the resident server and its client
+// (docs/DESIGN.md §10): endpoint addressing, RAII descriptors, a
+// bounded line reader, and interruptible accept.
+//
+// Endpoints:
+//   unix:/path/to.sock   (also any string containing '/')
+//   tcp:PORT             (loopback)
+//   tcp:HOST:PORT
+//
+// Everything here throws rapwam::Error on failure; nothing ever
+// raises SIGPIPE (sends use MSG_NOSIGNAL) — a client that disconnects
+// mid-response must surface as an error return, not kill the server.
+#pragma once
+
+#include <string>
+
+#include "support/common.h"
+
+namespace rapwam {
+
+struct Endpoint {
+  bool is_unix = true;
+  std::string path;  ///< unix socket path
+  std::string host;  ///< tcp
+  int port = 0;
+
+  static Endpoint parse(const std::string& spec);
+  std::string str() const;
+};
+
+/// RAII connected socket with a read buffer for line framing.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& o) noexcept;
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  static Socket connect(const Endpoint& ep, int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+  /// Half-close the write side (client signals end-of-requests).
+  void shutdown_write();
+  /// Shut the read side: a blocked recv on this socket (even in
+  /// another thread) returns EOF. The server's drain uses this to
+  /// unpark idle connection threads without closing the fd under them.
+  void shutdown_read();
+
+  /// Sends the whole buffer (MSG_NOSIGNAL); throws Error on failure
+  /// — including the peer having gone away.
+  void send_all(const std::string& data);
+
+  /// Reads up to and including the next '\n', returning the line
+  /// without it. Returns false on clean EOF before any byte of a new
+  /// line. Throws Error on I/O failure, on a line exceeding
+  /// `max_bytes` (hostile input guard), or when `timeout_ms` >= 0
+  /// elapses mid-line.
+  bool recv_line(std::string& line, std::size_t max_bytes, int timeout_ms = -1);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  ///< bytes read past the last returned line
+};
+
+/// Listening socket with interruptible accept: stop() wakes any
+/// blocked accept() via a self-pipe, which is also how the SIGTERM
+/// handler requests a drain without doing anything async-unsafe.
+class Listener {
+ public:
+  explicit Listener(const Endpoint& ep, int backlog = 64);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  const Endpoint& endpoint() const { return ep_; }
+
+  /// Blocks until a connection arrives (returned) or stop() is called
+  /// (returns an invalid Socket).
+  Socket accept();
+
+  /// Unblocks accept() permanently. Safe to call from any thread; the
+  /// underlying write is async-signal-safe, so a signal handler may
+  /// call notify_stop_async() directly.
+  void stop();
+  void notify_stop_async();  ///< signal-handler-safe subset of stop()
+
+ private:
+  Endpoint ep_;
+  int fd_ = -1;
+  int wake_r_ = -1, wake_w_ = -1;  ///< self-pipe
+};
+
+}  // namespace rapwam

@@ -1,0 +1,107 @@
+// Request/response protocol of the resident sweep service
+// (docs/DESIGN.md §10).
+//
+// Wire format: one JSON object per line in both directions.
+//
+//   {"op":"replay","bench":"qsort","pes":4,"protocol":"broadcast",
+//    "size":1024,"deadline_ms":2000,"id":7}
+//   -> {"id":7,"ok":true,"result":{"refs":6612,"bus_words":...}}
+//   -> {"id":7,"ok":false,
+//       "error":{"code":"overloaded","message":"..."},"retry_after_ms":25}
+//
+// parse_request() validates EVERYTHING — JSON shape, op, member
+// applicability, types, ranges — before any server state is touched;
+// a hostile line can only ever produce a structured bad_request
+// error. The fuzz suite (tests/test_server_protocol.cpp) pins that
+// the parser either yields a valid Request or throws Error, on any
+// input.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/config.h"
+#include "harness/programs.h"
+#include "server/faults.h"
+#include "server/json.h"
+#include "timing/timed_replay.h"
+
+namespace rapwam {
+
+enum class ReqOp { Ping, Stats, Replay, Time, Sweep, Golden, Shutdown };
+
+std::string op_name(ReqOp op);
+
+/// Machine-readable failure taxonomy; the retrying client keys its
+/// behaviour off these (retry overloaded, give up on bad_request).
+enum class ErrCode {
+  BadRequest,         ///< malformed/invalid request; never retried
+  Failed,             ///< domain failure: corrupt trace, unknown bench
+  ResourceExhausted,  ///< allocation failure executing the request
+  DeadlineExceeded,   ///< per-request deadline fired
+  Cancelled,          ///< request cancelled (drain of in-flight work)
+  Overloaded,         ///< admission queue full; carries retry_after_ms
+  ShuttingDown,       ///< server draining; no new work accepted
+  Internal,           ///< unexpected exception (a bug — but not a crash)
+};
+
+std::string err_code_name(ErrCode c);
+
+/// Bounds a request may not exceed — the "oversized sweep" guardrails.
+/// Violations are bad_request at parse time, before admission.
+struct RequestLimits {
+  u32 max_size_words = u32(1) << 22;  ///< 4M words per cache
+  u32 max_sweep_points = 512;
+  u32 max_solutions = 64;
+  i64 max_deadline_ms = 3'600'000;
+};
+
+/// A fully validated request. Workload members default to the paper's
+/// standard measurement point.
+struct Request {
+  ReqOp op = ReqOp::Ping;
+  JsonValue id;  ///< echoed verbatim in the response; Null if absent
+  u32 deadline_ms = 0;  ///< 0 = server default
+  std::optional<FaultPlan> fault;
+
+  // -- workload (replay / time / sweep / golden)
+  std::string bench;       ///< generated workload (TraceLibrary key)
+  std::string trace_path;  ///< or a recorded trace file; mutually exclusive
+  BenchScale scale = BenchScale::Small;
+  unsigned pes = 4;
+  bool explicit_pes = false;  ///< false + trace file => PEs from metadata
+  CacheConfig cfg;            ///< replay/time point
+  unsigned max_solutions = 1;
+  TimingParams timing;  ///< time only
+
+  // -- sweep grid: protocols × sizes
+  std::vector<Protocol> sweep_protocols;
+  std::vector<u32> sweep_sizes;
+};
+
+/// Parses and validates one request line. Throws Error (the message
+/// becomes the bad_request response) on anything out of shape; never
+/// mutates any state.
+Request parse_request(const std::string& line, const RequestLimits& limits = {});
+
+// -- response building (always single-line, newline appended by the
+//    connection writer, not here)
+
+std::string ok_response(const JsonValue& id, JsonValue result);
+std::string error_response(const JsonValue& id, ErrCode code,
+                           const std::string& message, i64 retry_after_ms = -1);
+
+/// Parsed response, as the client sees it.
+struct Response {
+  JsonValue id;
+  bool ok = false;
+  JsonValue result;     ///< when ok
+  std::string code;     ///< when !ok
+  std::string message;  ///< when !ok
+  i64 retry_after_ms = -1;
+
+  static Response parse(const std::string& line);
+};
+
+}  // namespace rapwam

@@ -1,0 +1,113 @@
+#include "server/server.h"
+
+namespace rapwam {
+
+Server::Server(const Endpoint& ep, const ServiceConfig& cfg)
+    : service_(cfg), listener_(ep) {}
+
+Server::~Server() {
+  if (run_thread_.joinable()) stop();
+}
+
+void Server::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    std::scoped_lock lk(conn_mu_);
+    for (u64 id : finished_) {
+      auto it = conn_threads_.find(id);
+      if (it != conn_threads_.end()) {
+        done.push_back(std::move(it->second));
+        conn_threads_.erase(it);
+      }
+    }
+    finished_.clear();
+  }
+  for (std::thread& t : done) t.join();
+}
+
+void Server::run() {
+  for (;;) {
+    Socket s = listener_.accept();
+    if (!s.valid()) break;  // stop requested
+    reap_finished();  // a resident server must not accumulate zombies
+    auto sock = std::make_shared<Socket>(std::move(s));
+    std::scoped_lock lk(conn_mu_);
+    u64 id = next_conn_id_++;
+    conns_.emplace(id, sock);
+    conn_threads_.emplace(
+        id, std::thread([this, id, sock] { serve_connection(id, sock); }));
+  }
+
+  // Drain: no new connections arrive past this point. New *requests*
+  // on live connections now answer shutting_down; in-flight ones run
+  // to completion and their responses are written by their own
+  // connection threads.
+  service_.begin_drain();
+  service_.wait_idle();
+
+  // Idle connections sit blocked in recv_line waiting for a next
+  // request that will never matter; give them EOF. Threads that are
+  // mid-response finish writing first (shutdown_read leaves the write
+  // side alone).
+  {
+    std::scoped_lock lk(conn_mu_);
+    for (const auto& [id, sock] : conns_) sock->shutdown_read();
+  }
+  std::map<u64, std::thread> threads;
+  {
+    std::scoped_lock lk(conn_mu_);
+    threads.swap(conn_threads_);
+    finished_.clear();
+  }
+  for (auto& [id, t] : threads) t.join();
+}
+
+void Server::start() {
+  run_thread_ = std::thread([this] { run(); });
+}
+
+void Server::stop() {
+  request_stop();
+  if (run_thread_.joinable()) run_thread_.join();
+}
+
+void Server::serve_connection(u64 id, std::shared_ptr<Socket> sock) {
+  std::string line;
+  for (;;) {
+    bool got = false;
+    try {
+      got = sock->recv_line(line, JsonLimits{}.max_bytes);
+    } catch (const std::exception& e) {
+      // Oversized line or I/O failure: the framing cannot be trusted
+      // any more, so answer (best-effort) and end this connection only.
+      try {
+        sock->send_all(error_response(JsonValue(), ErrCode::BadRequest,
+                                      e.what()) +
+                       "\n");
+      } catch (...) {
+      }
+      break;
+    }
+    if (!got) break;  // clean EOF
+
+    bool saw_shutdown = false;
+    std::string response = service_.handle_line(line, &saw_shutdown);
+    try {
+      sock->send_all(response + "\n");
+    } catch (...) {
+      // Peer vanished mid-response. The request already executed (and
+      // is counted); nobody else is affected.
+      if (saw_shutdown) listener_.stop();
+      break;
+    }
+    if (saw_shutdown) {
+      listener_.stop();  // run() takes over and drains
+      break;
+    }
+  }
+  std::scoped_lock lk(conn_mu_);
+  conns_.erase(id);
+  finished_.push_back(id);
+}
+
+}  // namespace rapwam

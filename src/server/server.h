@@ -1,0 +1,72 @@
+// Connection transport of the resident sweep service (docs/DESIGN.md
+// §10): accept loop, one thread per connection, graceful drain.
+//
+// The Server owns a Listener and a Service; each accepted connection
+// gets a thread that reads request lines and writes the Service's
+// response lines back. All failure handling that involves the *peer*
+// lives here: a client that disconnects mid-response or mid-request
+// just ends its own connection — the Service (and every other
+// connection) never notices.
+//
+// Drain (SIGINT/SIGTERM or a `shutdown` request):
+//   1. stop accepting new connections;
+//   2. Service::begin_drain() — new requests answer `shutting_down`;
+//   3. wait for in-flight requests to execute and their responses to
+//      be written;
+//   4. shut the read side of idle connections so their threads see
+//      EOF, and join them.
+// A signal handler only calls request_stop() (async-signal-safe); the
+// drain itself runs in run()'s normal context.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "server/net.h"
+#include "server/service.h"
+
+namespace rapwam {
+
+class Server {
+ public:
+  /// Binds immediately (throws Error if the endpoint is taken).
+  Server(const Endpoint& ep, const ServiceConfig& cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Where we actually listen (resolves tcp:0 to the ephemeral port).
+  const Endpoint& endpoint() const { return listener_.endpoint(); }
+  Service& service() { return service_; }
+
+  /// Accepts and serves until request_stop() (or a `shutdown`
+  /// request), then drains and returns. Call from the main thread —
+  /// or use start()/stop() to run it in the background (tests).
+  void run();
+
+  void start();  ///< run() on a background thread
+  void stop();   ///< request_stop() + join the background run()
+
+  /// Wakes the accept loop so run() begins its drain. The only member
+  /// a signal handler may call.
+  void request_stop() { listener_.notify_stop_async(); }
+
+ private:
+  void serve_connection(u64 id, std::shared_ptr<Socket> sock);
+  void reap_finished();  ///< join connection threads that have exited
+
+  Service service_;
+  Listener listener_;
+
+  std::mutex conn_mu_;
+  u64 next_conn_id_ = 0;
+  std::map<u64, std::thread> conn_threads_;
+  std::map<u64, std::shared_ptr<Socket>> conns_;  ///< live connection sockets
+  std::vector<u64> finished_;  ///< ids whose thread has returned
+
+  std::thread run_thread_;  ///< engaged by start()
+};
+
+}  // namespace rapwam

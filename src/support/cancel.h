@@ -1,0 +1,103 @@
+// Cooperative cancellation with deadlines (docs/DESIGN.md §10).
+//
+// Long-running work — a sweep over hundreds of replay points, a
+// billion-reference replay, a trace generation — must be abandonable
+// mid-flight: the server gives every request a deadline, and a request
+// whose client went away or whose budget expired should stop burning a
+// worker. Cancellation is cooperative: the work checks the token at
+// chunk granularity (kChunkRefs references ≈ tens of microseconds of
+// replay), which bounds how stale a cancelled request can run without
+// putting any synchronization on the per-reference hot path.
+//
+// Tokens are cheap shared handles: copies observe the same state, so
+// the admission path can keep one and the worker another. A token with
+// no deadline and no cancel() call never fires and checkpoint()
+// compiles down to one relaxed atomic load plus (if a deadline is set)
+// one clock read per chunk.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "support/common.h"
+
+namespace rapwam {
+
+/// Thrown by CancelToken::checkpoint(). Distinct from plain Error so
+/// callers (the server's error mapping, retry loops) can tell "the
+/// work was abandoned" from "the work failed".
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what, bool deadline)
+      : Error(what), deadline_(deadline) {}
+  /// True when the cancellation came from an expired deadline rather
+  /// than an explicit cancel() (the server maps these to different
+  /// protocol error codes).
+  bool deadline_exceeded() const { return deadline_; }
+
+ private:
+  bool deadline_;
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  /// Token that expires `budget` from now; a zero/negative budget is
+  /// already expired (the admission queue uses this to bounce requests
+  /// that waited past their deadline without running them).
+  static CancelToken with_deadline(std::chrono::milliseconds budget) {
+    CancelToken t;
+    t.state_->has_deadline.store(true, std::memory_order_relaxed);
+    t.state_->deadline = Clock::now() + budget;
+    return t;
+  }
+
+  /// Requests cancellation; every copy of the token observes it.
+  void cancel() { state_->cancelled.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+  bool has_deadline() const {
+    return state_->has_deadline.load(std::memory_order_relaxed);
+  }
+  Clock::time_point deadline() const { return state_->deadline; }
+
+  bool expired() const {
+    if (cancelled()) return true;
+    return has_deadline() && Clock::now() >= state_->deadline;
+  }
+
+  /// Time left before the deadline; a large sentinel when none is set
+  /// (so callers can min() it into their own waits unconditionally).
+  std::chrono::milliseconds remaining() const {
+    if (!has_deadline()) return std::chrono::milliseconds(1 << 30);
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        state_->deadline - Clock::now());
+    return left.count() > 0 ? left : std::chrono::milliseconds(0);
+  }
+
+  /// The cooperative check: throws CancelledError if the token was
+  /// cancelled or its deadline passed. Called between chunks, never
+  /// per reference.
+  void checkpoint() const {
+    if (cancelled())
+      throw CancelledError("request cancelled", /*deadline=*/false);
+    if (has_deadline() && Clock::now() >= state_->deadline)
+      throw CancelledError("deadline exceeded", /*deadline=*/true);
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<bool> has_deadline{false};
+    Clock::time_point deadline{};  ///< written once, before sharing
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace rapwam

@@ -144,12 +144,20 @@ void StreamSink::finish() {
 // --- FileTraceSink --------------------------------------------------------
 
 FileTraceSink::FileTraceSink(const std::string& path, bool busy_only)
-    : path_(path), f_(std::fopen(path.c_str(), "wb")), busy_only_(busy_only) {
-  if (!f_) fail("cannot open trace file for writing: " + path);
+    : path_(path),
+      tmp_path_(path + ".tmp"),
+      f_(std::fopen(tmp_path_.c_str(), "wb")),
+      busy_only_(busy_only) {
+  if (!f_) fail("cannot open trace file for writing: " + tmp_path_);
 }
 
 FileTraceSink::~FileTraceSink() {
-  if (f_) std::fclose(f_);  // errors already surfaced by close()
+  if (!f_) return;
+  // Destroyed without close(): the recording was aborted (an exception
+  // is unwinding past us, or the caller gave up). Drop the partial
+  // temporary instead of publishing a truncated trace.
+  std::fclose(f_);
+  std::remove(tmp_path_.c_str());
 }
 
 void FileTraceSink::on_chunk(const u64* packed, std::size_t n) {
@@ -172,7 +180,16 @@ void FileTraceSink::close() {
   if (!f_) return;
   int rc = std::fclose(f_);
   f_ = nullptr;
-  if (rc != 0) fail("error closing trace file: " + path_);
+  if (rc != 0) {
+    std::remove(tmp_path_.c_str());
+    fail("error closing trace file: " + tmp_path_);
+  }
+  // Publish atomically: rename within the same directory, so readers
+  // see either no file or the complete recording, never a prefix.
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    fail("cannot publish trace file: " + path_);
+  }
 }
 
 }  // namespace rapwam

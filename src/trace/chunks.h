@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "support/cancel.h"
 #include "trace/tracebuf.h"
 
 namespace rapwam {
@@ -119,6 +120,25 @@ class ChunkStream {
   bool closed_ = false;
 };
 
+/// Forwards chunks to `inner`, checking a cancellation token first.
+/// Wrapping the sink of a generation run makes the *producer* side of
+/// the pipeline cancellable at chunk granularity — the emulator aborts
+/// with CancelledError instead of finishing a run nobody is waiting
+/// for (docs/DESIGN.md §10). A null token forwards unconditionally.
+class CancelCheckSink : public TraceSink {
+ public:
+  CancelCheckSink(TraceSink& inner, const CancelToken* cancel)
+      : inner_(inner), cancel_(cancel) {}
+  void on_chunk(const u64* packed, std::size_t n) override {
+    if (cancel_) cancel_->checkpoint();
+    inner_.on_chunk(packed, n);
+  }
+
+ private:
+  TraceSink& inner_;
+  const CancelToken* cancel_;
+};
+
 /// Re-chunks a reference stream (applying the busy-only filter) and
 /// pushes full chunks into a ChunkStream. finish() flushes the partial
 /// tail chunk and closes the stream; the destructor finishes too, so an
@@ -152,19 +172,33 @@ std::shared_ptr<const ChunkedTrace> load_chunked_trace(const std::string& path,
 /// save_trace format: 8 bytes per reference, host order). Recording a
 /// multi-million-reference trace this way needs O(chunk) memory —
 /// nothing is materialized.
+///
+/// Crash-safe: the stream is written to `<path>.tmp` and atomically
+/// renamed to `path` by close(), so `path` either doesn't exist or
+/// holds a complete recording. An interrupted record (crash, thrown
+/// exception unwinding past the sink) can never leave a truncated
+/// file at `path` that a later load would silently accept as a short
+/// trace — the format carries no length header, so a truncated prefix
+/// of valid records is indistinguishable from a genuine short run.
+/// The destructor without close() treats the recording as aborted and
+/// removes the temporary.
 class FileTraceSink : public TraceSink {
  public:
   explicit FileTraceSink(const std::string& path, bool busy_only = true);
   ~FileTraceSink() override;
   void on_chunk(const u64* packed, std::size_t n) override;
-  /// Flushes and closes; throws on write failure. Idempotent.
+  /// Flushes, closes and publishes the file at `path` (atomic rename
+  /// from the temporary); throws on write failure. Idempotent.
   void close();
 
   u64 written() const { return written_; }
   const RefCounts& counts() const { return counts_; }
+  /// Where the bytes go until close() publishes them.
+  const std::string& temp_path() const { return tmp_path_; }
 
  private:
   std::string path_;
+  std::string tmp_path_;
   std::FILE* f_ = nullptr;
   bool busy_only_;
   u64 written_ = 0;

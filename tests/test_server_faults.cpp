@@ -1,0 +1,307 @@
+// Fault-injection matrix for the resident sweep service
+// (docs/DESIGN.md §10): every injected failure — allocation failure,
+// mid-replay throw, stalled replay against a deadline, client
+// disconnect, overload, drain mid-flight — must leave the server
+// answering subsequent requests with stats bit-identical to a local
+// computation. An in-process Server runs over a test-unique unix
+// socket (ctest runs suites in parallel) and requests go through the
+// real client, so the whole wire path is exercised.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "cache/sweep.h"
+#include "harness/golden.h"
+#include "harness/trace_lib.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace rapwam {
+namespace {
+
+std::string test_socket(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("rapwam_sf_" + std::to_string(::getpid()) + "_" + tag + ".sock"))
+      .string();
+}
+
+/// In-process server with fault injection enabled, torn down (with a
+/// full drain) by the destructor.
+struct TestServer {
+  explicit TestServer(const std::string& tag, unsigned workers = 2,
+                      std::size_t queue = 8) {
+    ServiceConfig cfg;
+    cfg.workers = workers;
+    cfg.queue_limit = queue;
+    cfg.enable_faults = true;
+    server = std::make_unique<Server>(Endpoint::parse("unix:" + test_socket(tag)),
+                                      cfg);
+    server->start();
+  }
+  ~TestServer() { server->stop(); }
+
+  const Endpoint& ep() const { return server->endpoint(); }
+  Response ask(const std::string& line, int timeout_ms = 30000) {
+    return request_once(ep(), line, timeout_ms);
+  }
+
+  std::unique_ptr<Server> server;
+};
+
+/// The default replay point the requests below use: qsort, small
+/// scale, 4 PEs, the paper's broadcast/1024 configuration.
+const char* kReplay = R"({"op":"replay","bench":"qsort","pes":4,"id":"chk"})";
+
+/// Asserts a replay response's counters are bit-identical to computing
+/// the same point locally — the "server state survived intact" oracle
+/// run after every injected fault.
+void expect_replay_exact(const Response& r) {
+  ASSERT_TRUE(r.ok) << r.code << ": " << r.message;
+  std::shared_ptr<const GeneratedTrace> g =
+      TraceLibrary::instance().get("qsort", BenchScale::Small, 4);
+  TrafficStats want =
+      replay_traffic(paper_cache_config(Protocol::WriteInBroadcast, 1024), 4,
+                     *g->trace);
+  for (const auto& [name, value] : traffic_fields(want)) {
+    const JsonValue* got = r.result.find(name);
+    ASSERT_NE(got, nullptr) << "missing field " << name;
+    EXPECT_EQ(static_cast<u64>(got->as_int()), value) << "field " << name;
+  }
+}
+
+TEST(ServerFaults, ReplayMatchesLocalComputation) {
+  TestServer ts("baseline");
+  expect_replay_exact(ts.ask(kReplay));
+}
+
+TEST(ServerFaults, AllocationFailuresAreStructuredAndTransient) {
+  TestServer ts("alloc");
+  // Every allocation checkpoint of the replay path, one at a time.
+  for (int site = 1; site <= 3; ++site) {
+    Response r = ts.ask(
+        R"({"op":"replay","bench":"qsort","pes":4,"fault":{"fail_alloc":)" +
+        std::to_string(site) + "}}");
+    EXPECT_FALSE(r.ok) << "site " << site;
+    EXPECT_EQ(r.code, "resource_exhausted") << "site " << site;
+    // The very next request must succeed, bit-identically.
+    expect_replay_exact(ts.ask(kReplay));
+  }
+}
+
+TEST(ServerFaults, MidReplayThrowLeavesServerAnswering) {
+  TestServer ts("chunk");
+  Response r = ts.ask(
+      R"({"op":"replay","bench":"qsort","pes":4,"fault":{"throw_chunk":1}})");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, "failed");
+  EXPECT_NE(r.message.find("injected chunk fault"), std::string::npos);
+  expect_replay_exact(ts.ask(kReplay));
+
+  // Same through the timed engine.
+  Response t = ts.ask(
+      R"({"op":"time","bench":"qsort","pes":4,"fault":{"throw_chunk":1}})");
+  EXPECT_FALSE(t.ok);
+  EXPECT_EQ(t.code, "failed");
+  expect_replay_exact(ts.ask(kReplay));
+}
+
+TEST(ServerFaults, StalledReplayHitsItsDeadline) {
+  TestServer ts("stall");
+  expect_replay_exact(ts.ask(kReplay));  // prewarm: cached trace, fast path
+  Response r = ts.ask(
+      R"({"op":"replay","bench":"qsort","pes":4,"deadline_ms":40,"fault":{"stall_ms":400}})");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, "deadline_exceeded");
+  expect_replay_exact(ts.ask(kReplay));
+}
+
+TEST(ServerFaults, SweepWithInjectedFaultRecovers) {
+  TestServer ts("sweepfault");
+  Response bad = ts.ask(
+      R"({"op":"sweep","bench":"qsort","pes":4,"sizes":[256,1024],"fault":{"throw_chunk":3}})");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.code, "failed");
+  Response good =
+      ts.ask(R"({"op":"sweep","bench":"qsort","pes":4,"sizes":[256,1024]})");
+  ASSERT_TRUE(good.ok) << good.message;
+  EXPECT_EQ(good.result.find("points")->items().size(), 10u);  // 5 protocols x 2
+  expect_replay_exact(ts.ask(kReplay));
+}
+
+TEST(ServerFaults, ClientDisconnectMidResponseServerSurvives) {
+  TestServer ts("discon");
+  {
+    Socket s = Socket::connect(ts.ep(), 5000);
+    s.send_all(std::string(kReplay) + "\n");
+    // Vanish without reading the response; the connection thread's
+    // send fails and only that connection dies.
+  }
+  {
+    Socket s = Socket::connect(ts.ep(), 5000);
+    s.send_all(std::string(kReplay) + "\n");
+    s.close();  // also mid-request-lifecycle, before the result exists
+  }
+  expect_replay_exact(ts.ask(kReplay));
+}
+
+TEST(ServerFaults, MalformedLineKeepsConnectionAndServerAlive) {
+  TestServer ts("malformed");
+  Socket s = Socket::connect(ts.ep(), 5000);
+  s.send_all("this is not json\n");
+  std::string line;
+  ASSERT_TRUE(s.recv_line(line, 1 << 20, 5000));
+  Response bad = Response::parse(line);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.code, "bad_request");
+  // Framing stayed intact: the same connection keeps working.
+  s.send_all("{\"op\":\"ping\"}\n");
+  ASSERT_TRUE(s.recv_line(line, 1 << 20, 5000));
+  EXPECT_TRUE(Response::parse(line).ok);
+}
+
+TEST(ServerFaults, OversizedLineCannotWedgeTheServer) {
+  TestServer ts("oversized");
+  {
+    Socket s = Socket::connect(ts.ep(), 5000);
+    // 1.5 MB with no newline: the server aborts the read at its 1 MB
+    // bound and drops the connection; our send may fail once the peer
+    // resets — either way nothing hangs.
+    std::string huge(std::size_t(3) << 19, 'x');
+    try {
+      s.send_all(huge);
+      s.send_all("\n");
+    } catch (const Error&) {
+    }
+  }
+  expect_replay_exact(ts.ask(kReplay));  // unaffected
+}
+
+TEST(ServerFaults, OverloadShedsWithRetryAfterAndBackoffClientSucceeds) {
+  // One worker, zero queue: a single stalled request saturates the
+  // service and everything else must shed immediately.
+  TestServer ts("overload", /*workers=*/1, /*queue=*/0);
+  expect_replay_exact(ts.ask(kReplay));  // prewarm the trace cache
+
+  Socket hog = Socket::connect(ts.ep(), 5000);
+  hog.send_all(
+      R"({"op":"replay","bench":"qsort","pes":4,"id":"hog","fault":{"stall_ms":800}})"
+      "\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // let it admit
+
+  Response shed = ts.ask(kReplay, 5000);
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.code, "overloaded");
+  EXPECT_GT(shed.retry_after_ms, 0);
+
+  // Control-plane ops still answer while the worker is saturated.
+  Response stats = ts.ask(R"({"op":"stats"})");
+  ASSERT_TRUE(stats.ok);
+  EXPECT_GE(stats.result.find("shed")->as_int(), 1);
+
+  // The retrying client outlives the hog and eventually gets through.
+  ClientOptions opt;
+  opt.attempts = 12;
+  opt.backoff_ms = 50;
+  opt.timeout_ms = 30000;
+  opt.jitter_seed = 7;
+  ClientOutcome out = request_with_retry(ts.ep(), kReplay, opt);
+  EXPECT_GT(out.attempts, 1);  // it really was shed at least once
+  expect_replay_exact(out.response);
+
+  std::string line;
+  ASSERT_TRUE(hog.recv_line(line, 1 << 20, 30000));
+  EXPECT_TRUE(Response::parse(line).ok);  // the hog itself completed fine
+}
+
+TEST(ServerFaults, DrainCompletesInFlightAndRejectsNew) {
+  TestServer ts("drain");
+  expect_replay_exact(ts.ask(kReplay));  // prewarm
+
+  // A: a slow request that will still be executing when the drain
+  // begins. C: an idle connection opened before the listener stops.
+  Socket a = Socket::connect(ts.ep(), 5000);
+  a.send_all(
+      R"({"op":"replay","bench":"qsort","pes":4,"id":"inflight","fault":{"stall_ms":800}})"
+      "\n");
+  Socket c = Socket::connect(ts.ep(), 5000);
+  std::string line;
+  c.send_all("{\"op\":\"ping\"}\n");  // ensure C is accepted and served
+  ASSERT_TRUE(c.recv_line(line, 1 << 20, 5000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // A admitted
+
+  Response shut = ts.ask(R"({"op":"shutdown","id":"bye"})");
+  ASSERT_TRUE(shut.ok);
+  EXPECT_TRUE(shut.result.find("draining")->as_bool());
+
+  // New work on a pre-existing connection: rejected, not executed.
+  c.send_all(std::string(kReplay) + "\n");
+  ASSERT_TRUE(c.recv_line(line, 1 << 20, 5000));
+  Response rejected = Response::parse(line);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.code, "shutting_down");
+
+  // The in-flight request ran to completion with exact results.
+  ASSERT_TRUE(a.recv_line(line, 1 << 20, 30000));
+  expect_replay_exact(Response::parse(line));
+
+  ts.server->stop();  // run() returns after the drain; join it
+  ServiceCounters counters = ts.server->service().counters();
+  // prewarm + in-flight (control-plane ops don't count as completed)
+  EXPECT_GE(counters.completed, 2u);
+  EXPECT_GE(counters.rejected, 1u);   // the shutting_down bounce
+  EXPECT_EQ(counters.cancelled, 0u);  // drain never cancels in-flight work
+}
+
+TEST(ServerFaults, SignalStyleStopDrainsInFlightWork) {
+  TestServer ts("sigstop");
+  expect_replay_exact(ts.ask(kReplay));  // prewarm
+
+  Socket a = Socket::connect(ts.ep(), 5000);
+  a.send_all(
+      R"({"op":"replay","bench":"qsort","pes":4,"id":"sig","fault":{"stall_ms":300}})"
+      "\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // What the SIGINT/SIGTERM handler does — nothing more.
+  ts.server->request_stop();
+
+  std::string line;
+  ASSERT_TRUE(a.recv_line(line, 1 << 20, 30000));
+  expect_replay_exact(Response::parse(line));
+  ts.server->stop();
+}
+
+TEST(ServerFaults, GoldenOpIsCleanAfterInjectedFaults) {
+  TestServer ts("golden");
+  // Poison attempts first: a failed generation and a mid-replay throw.
+  Response f1 = ts.ask(
+      R"({"op":"replay","bench":"qsort","pes":4,"fault":{"fail_alloc":1}})");
+  EXPECT_FALSE(f1.ok);
+  Response f2 = ts.ask(
+      R"({"op":"replay","bench":"qsort","pes":4,"fault":{"throw_chunk":1}})");
+  EXPECT_FALSE(f2.ok);
+  // The full golden corpus comparison for the bench must still pass
+  // through the server — nothing the faults touched was shared state.
+  Response g = ts.ask(R"({"op":"golden","bench":"qsort"})", 120000);
+  ASSERT_TRUE(g.ok) << g.code << ": " << g.message;
+  EXPECT_TRUE(g.result.find("clean")->as_bool())
+      << json_write(*g.result.find("mismatches"));
+}
+
+TEST(ServerFaults, FaultPlansRejectedWhenInjectionDisabled) {
+  ServiceConfig cfg;  // enable_faults defaults to false: production mode
+  cfg.workers = 1;
+  Server server(Endpoint::parse("unix:" + test_socket("nofaults")), cfg);
+  server.start();
+  Response r = request_once(
+      server.endpoint(),
+      R"({"op":"replay","bench":"qsort","pes":4,"fault":{"stall_ms":1}})",
+      10000);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, "bad_request");
+  server.stop();
+}
+
+}  // namespace
+}  // namespace rapwam

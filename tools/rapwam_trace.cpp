@@ -10,6 +10,10 @@
 //                       [--l2 4096] [--l2-hit 2] [--mem-extra 10]
 //   rapwam_trace dump   qsort4.trc [--head 20]
 //   rapwam_trace golden [--update] [--dir PATH] [--bench NAME]
+//   rapwam_trace serve  --socket unix:/tmp/rapwam.sock [--workers 4]
+//                       [--queue 16] [--deadline MS] [--enable-faults]
+//   rapwam_trace request '<json-request>' --socket unix:/tmp/rapwam.sock
+//                       [--timeout MS] [--attempts N] [--seed S]
 //
 // `time` replays through the event-driven timed engine (per-PE clocks,
 // shared bus, write buffers — docs/DESIGN.md §7) and prints measured
@@ -19,6 +23,7 @@
 // (tests/golden/) against a live recomputation, or regenerates it with
 // --update after an intentional change.
 // Traces are the 8-byte packed records of src/trace/memref.h.
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -27,6 +32,8 @@
 #include "cache/queueing.h"
 #include "harness/golden.h"
 #include "harness/runner.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "trace/chunks.h"
 #include "support/cli.h"
 #include "support/stats.h"
@@ -244,6 +251,69 @@ int cmd_golden(const Cli& cli) {
   return mismatched ? 1 : 0;
 }
 
+// The signal handler may only touch async-signal-safe machinery;
+// Server::request_stop() is exactly that (a self-pipe write), and the
+// drain itself runs in cmd_serve's normal context once accept wakes.
+Server* g_server = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+  if (g_server) g_server->request_stop();
+}
+
+int cmd_serve(const Cli& cli) {
+  Endpoint ep = Endpoint::parse(cli.get("socket", "unix:/tmp/rapwam.sock"));
+  ServiceConfig cfg;
+  cfg.workers = static_cast<unsigned>(cli.get_int("workers", 4));
+  cfg.queue_limit = static_cast<std::size_t>(cli.get_int("queue", 16));
+  cfg.default_deadline_ms = static_cast<u32>(cli.get_int("deadline", 0));
+  cfg.enable_faults = cli.has("enable-faults");
+
+  Server server(ep, cfg);
+  g_server = &server;
+  struct sigaction sa{};
+  sa.sa_handler = serve_signal_handler;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("rapwam_trace serving on %s (%u workers, queue %zu%s)\n",
+              server.endpoint().str().c_str(), cfg.workers, cfg.queue_limit,
+              cfg.enable_faults ? ", FAULT INJECTION ENABLED" : "");
+  std::fflush(stdout);
+  server.run();  // returns after a signal or `shutdown` request + drain
+
+  // Flush final stats: the drain's last act, and what the CI smoke
+  // test greps for.
+  ServiceCounters c = server.service().counters();
+  std::printf("drained: received %llu, completed %llu, failed %llu, "
+              "shed %llu, rejected %llu, cancelled %llu, faults %llu\n",
+              (unsigned long long)c.received, (unsigned long long)c.completed,
+              (unsigned long long)c.failed, (unsigned long long)c.shed,
+              (unsigned long long)c.rejected, (unsigned long long)c.cancelled,
+              (unsigned long long)c.faults_injected);
+  g_server = nullptr;
+  return 0;
+}
+
+int cmd_request(const Cli& cli) {
+  if (cli.positional().size() < 2) {
+    std::fprintf(stderr, "usage: rapwam_trace request '<json>' --socket SPEC\n");
+    return 2;
+  }
+  Endpoint ep = Endpoint::parse(cli.get("socket", "unix:/tmp/rapwam.sock"));
+  ClientOptions opt;
+  opt.timeout_ms = static_cast<int>(cli.get_int("timeout", 10000));
+  opt.attempts = static_cast<int>(cli.get_int("attempts", 5));
+  opt.jitter_seed = static_cast<u64>(cli.get_int("seed", 1));
+  ClientOutcome out = request_with_retry(ep, cli.positional().at(1), opt);
+  if (out.response.ok) {
+    std::printf("%s\n", json_write(out.response.result).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "error (%s): %s\n", out.response.code.c_str(),
+               out.response.message.c_str());
+  return 1;
+}
+
 int cmd_dump(const Cli& cli) {
   std::vector<u64> t = load_trace(cli.positional().at(1));
   i64 head = cli.get_int("head", 20);
@@ -264,8 +334,8 @@ int main(int argc, char** argv) {
   try {
     if (cli.positional().empty()) {
       std::puts(
-          "usage: rapwam_trace record|stats|replay|time|dump|golden ... "
-          "(see source header)");
+          "usage: rapwam_trace record|stats|replay|time|dump|golden|serve|"
+          "request ... (see source header)");
       return 2;
     }
     const std::string& cmd = cli.positional()[0];
@@ -275,6 +345,8 @@ int main(int argc, char** argv) {
     if (cmd == "time") return cmd_time(cli);
     if (cmd == "dump") return cmd_dump(cli);
     if (cmd == "golden") return cmd_golden(cli);
+    if (cmd == "serve") return cmd_serve(cli);
+    if (cmd == "request") return cmd_request(cli);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
   } catch (const Error& e) {
