@@ -24,9 +24,17 @@ std::string protocol_name(Protocol p);
 /// unknown name, listing the accepted spellings.
 Protocol protocol_from_name(const std::string& s);
 
-/// Validates a PE count against the simulator's per-PE directory masks
-/// (64-bit holder masks => 1..64 PEs). Returns `pes` so call sites can
-/// validate inline.
+/// Hard cap on the simulator's PE count. Below 65 PEs the sharing
+/// directory uses flat u64 masks (the zero-cost fast path); above, the
+/// multi-word PeSet representation (cache/peset.h, docs/DESIGN.md §11)
+/// carries it to this limit. Note the trace *format* caps lower — a
+/// packed MemRef has 8 PE-id bits (trace/memref.h, kMaxTracePes) — so
+/// only traces of up to kMaxTracePes PEs can drive a simulator this
+/// large.
+inline constexpr unsigned kMaxPes = 1024;
+
+/// Validates a PE count against the simulator's directory limit
+/// (1..kMaxPes). Returns `pes` so call sites can validate inline.
 unsigned check_pes(unsigned pes);
 
 /// Optional shared second-level cache between the snooping bus and

@@ -1,11 +1,9 @@
 #include "cache/hierarchy.h"
 
-#include <bit>
-
 namespace rapwam {
 
-HierCacheSim::HierCacheSim(const CacheConfig& cfg, unsigned num_pes)
-    : MultiCacheSim(cfg, num_pes) {
+HierCacheSim::HierCacheSim(const CacheConfig& cfg, unsigned num_pes, DirRep rep)
+    : MultiCacheSim(cfg, num_pes, rep) {
   if (!cfg.l2.enabled()) return;
   RW_CHECK(cfg.l2.size_words % cfg.line_words == 0,
            "L2 size must be a multiple of the (shared) line size");
@@ -44,28 +42,34 @@ void HierCacheSim::hier_replay_loop(const u64* packed, std::size_t n) {
     hier_access<Handler>(MemRef::unpack(packed[i]));
 }
 
+template <typename E>
+void HierCacheSim::hier_access_dispatch(const MemRef& r) {
+  switch (cfg_.protocol) {
+    case Protocol::WriteThrough:
+      hier_access<&HierCacheSim::access_write_through<E>>(r);
+      break;
+    case Protocol::Copyback:
+      hier_access<&HierCacheSim::access_copyback<E>>(r);
+      break;
+    case Protocol::WriteInBroadcast:
+      hier_access<&HierCacheSim::access_write_in_broadcast<E>>(r);
+      break;
+    case Protocol::WriteThroughBroadcast:
+      hier_access<&HierCacheSim::access_write_update_broadcast<E>>(r);
+      break;
+    case Protocol::Hybrid:
+      hier_access<&HierCacheSim::access_hybrid<E>>(r);
+      break;
+  }
+}
+
 void HierCacheSim::access(const MemRef& r) {
   if (!l2_) {
     MultiCacheSim::access(r);
     return;
   }
-  switch (cfg_.protocol) {
-    case Protocol::WriteThrough:
-      hier_access<&HierCacheSim::access_write_through>(r);
-      break;
-    case Protocol::Copyback:
-      hier_access<&HierCacheSim::access_copyback>(r);
-      break;
-    case Protocol::WriteInBroadcast:
-      hier_access<&HierCacheSim::access_write_in_broadcast>(r);
-      break;
-    case Protocol::WriteThroughBroadcast:
-      hier_access<&HierCacheSim::access_write_update_broadcast>(r);
-      break;
-    case Protocol::Hybrid:
-      hier_access<&HierCacheSim::access_hybrid>(r);
-      break;
-  }
+  if (wide_) hier_access_dispatch<WideDirEntry>(r);
+  else hier_access_dispatch<DirEntry>(r);
 }
 
 StepOutcome HierCacheSim::step(const MemRef& r) {
@@ -90,28 +94,34 @@ StepOutcome HierCacheSim::step(const MemRef& r) {
   return o;
 }
 
+template <typename E>
+void HierCacheSim::hier_replay_dispatch(const u64* packed, std::size_t n) {
+  switch (cfg_.protocol) {
+    case Protocol::WriteThrough:
+      hier_replay_loop<&HierCacheSim::access_write_through<E>>(packed, n);
+      break;
+    case Protocol::Copyback:
+      hier_replay_loop<&HierCacheSim::access_copyback<E>>(packed, n);
+      break;
+    case Protocol::WriteInBroadcast:
+      hier_replay_loop<&HierCacheSim::access_write_in_broadcast<E>>(packed, n);
+      break;
+    case Protocol::WriteThroughBroadcast:
+      hier_replay_loop<&HierCacheSim::access_write_update_broadcast<E>>(packed, n);
+      break;
+    case Protocol::Hybrid:
+      hier_replay_loop<&HierCacheSim::access_hybrid<E>>(packed, n);
+      break;
+  }
+}
+
 void HierCacheSim::replay(const u64* packed, std::size_t n) {
   if (!l2_) {
     MultiCacheSim::replay(packed, n);  // flat fast path, untouched
     return;
   }
-  switch (cfg_.protocol) {
-    case Protocol::WriteThrough:
-      hier_replay_loop<&HierCacheSim::access_write_through>(packed, n);
-      break;
-    case Protocol::Copyback:
-      hier_replay_loop<&HierCacheSim::access_copyback>(packed, n);
-      break;
-    case Protocol::WriteInBroadcast:
-      hier_replay_loop<&HierCacheSim::access_write_in_broadcast>(packed, n);
-      break;
-    case Protocol::WriteThroughBroadcast:
-      hier_replay_loop<&HierCacheSim::access_write_update_broadcast>(packed, n);
-      break;
-    case Protocol::Hybrid:
-      hier_replay_loop<&HierCacheSim::access_hybrid>(packed, n);
-      break;
-  }
+  if (wide_) hier_replay_dispatch<WideDirEntry>(packed, n);
+  else hier_replay_dispatch<DirEntry>(packed, n);
 }
 
 void HierCacheSim::l2_after_access(u64 tag, u64 fetch_d, u64 flush_d, u64 wb_d,
@@ -159,29 +169,40 @@ void HierCacheSim::l2_fill(u64 tag, LineState st) {
   if (dirty) stats_.mem_writeback_words += L();
 }
 
+template <typename E>
+bool HierCacheSim::back_invalidate_dir(u64 tag) {
+  E* e = dir<E>().find(tag);
+  if (!e) return false;
+  bool any = pe_any(e->holders);
+  bool dirty = pe_any(e->dirty);
+  pe_for_each(e->holders, [&](unsigned pe) { caches_[pe].invalidate(tag); });
+  dir<E>().erase(tag);
+  if (any) {
+    // One address-only broadcast kills every copy (same bus cost as an
+    // invalidation broadcast in the flat protocols).
+    ++stats_.l2_back_invalidations;
+    stats_.bus_words += 1;
+  }
+  if (dirty) {
+    stats_.l2_back_inval_flush_words += L();
+    stats_.bus_words += L();
+  }
+  return dirty;
+}
+
 bool HierCacheSim::back_invalidate(u64 tag) {
-  bool any = false, dirty = false;
   if (coherent_) {
-    DirEntry* e = dir_.find(tag);
-    if (!e) return false;
-    any = e->holders != 0;
-    dirty = e->dirty != 0;
-    u64 m = e->holders;
-    while (m) {
-      unsigned pe = static_cast<unsigned>(std::countr_zero(m));
-      m &= m - 1;
-      caches_[pe].invalidate(tag);
-    }
-    dir_.erase(tag);
-  } else {
-    // Copyback keeps no directory; probe every cache (back-invals are
-    // rare next to references, and copyback is the sequential baseline).
-    for (Cache& c : caches_) {
-      if (const Line* l = c.probe(tag)) {
-        any = true;
-        dirty = dirty || l->state == LineState::Dirty;
-        c.invalidate(tag);
-      }
+    return wide_ ? back_invalidate_dir<WideDirEntry>(tag)
+                 : back_invalidate_dir<DirEntry>(tag);
+  }
+  // Copyback keeps no directory; probe every cache (back-invals are
+  // rare next to references, and copyback is the sequential baseline).
+  bool any = false, dirty = false;
+  for (Cache& c : caches_) {
+    if (const Line* l = c.probe(tag)) {
+      any = true;
+      dirty = dirty || l->state == LineState::Dirty;
+      c.invalidate(tag);
     }
   }
   if (any) {

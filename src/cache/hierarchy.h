@@ -37,7 +37,8 @@ namespace rapwam {
 
 class HierCacheSim : public MultiCacheSim {
  public:
-  HierCacheSim(const CacheConfig& cfg, unsigned num_pes);
+  HierCacheSim(const CacheConfig& cfg, unsigned num_pes,
+               DirRep rep = DirRep::Auto);
 
   /// Per-reference APIs, shadowing (not overriding) the base: with the
   /// L2 disabled they delegate to the flat fast paths; with it enabled
@@ -71,6 +72,12 @@ class HierCacheSim : public MultiCacheSim {
   /// memory-side counter deltas through the L2.
   template <void (MultiCacheSim::*Handler)(const MemRef&)>
   void hier_access(const MemRef& r);
+  /// Protocol switches for the L2-enabled paths, per directory entry
+  /// type E (the base handlers are templated over it).
+  template <typename E>
+  void hier_access_dispatch(const MemRef& r);
+  template <typename E>
+  void hier_replay_dispatch(const u64* packed, std::size_t n);
 
   /// Memory-side model of the reference the flat handler just ran.
   /// The deltas are that handler's counter increments; `tag` is the
@@ -85,6 +92,9 @@ class HierCacheSim : public MultiCacheSim {
   /// Returns true if any copy was dirty — that data joins the victim's
   /// memory writeback.
   bool back_invalidate(u64 tag);
+  /// Directory-precise back-invalidation for entry type E.
+  template <typename E>
+  bool back_invalidate_dir(u64 tag);
 
   std::optional<Cache> l2_;  ///< engaged iff cfg.l2.enabled()
   bool inclusive_ = false;

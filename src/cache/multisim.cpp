@@ -31,110 +31,117 @@ std::string inclusion_name(L2Config::Inclusion inc) {
 }
 
 unsigned check_pes(unsigned pes) {
-  if (pes < 1 || pes > 64)
-    fail("PE count must be 1..64 (the cache simulator's directory uses 64-bit "
-         "per-PE holder masks)");
+  if (pes < 1 || pes > kMaxPes)
+    fail("PE count must be 1.." + std::to_string(kMaxPes) +
+         " (the sharing directory's per-PE masks are sized for kMaxPes)");
   return pes;
 }
 
-MultiCacheSim::MultiCacheSim(const CacheConfig& cfg, unsigned num_pes) : cfg_(cfg) {
+MultiCacheSim::MultiCacheSim(const CacheConfig& cfg, unsigned num_pes, DirRep rep)
+    : cfg_(cfg) {
   RW_CHECK(cfg.line_words > 0 && cfg.size_words % cfg.line_words == 0,
            "cache size must be a multiple of the line size");
-  RW_CHECK(num_pes >= 1 && num_pes <= 64,
-           "directory holder masks support 1..64 PEs");
+  RW_CHECK(num_pes >= 1 && num_pes <= kMaxPes,
+           "directory holder masks support 1..kMaxPes PEs");
+  RW_CHECK(rep != DirRep::Flat || num_pes <= 64,
+           "the flat u64 directory representation caps at 64 PEs");
+  wide_ = rep == DirRep::Wide || (rep == DirRep::Auto && num_pes > 64);
   coherent_ = cfg.protocol != Protocol::Copyback;
   caches_.reserve(num_pes);
   for (unsigned i = 0; i < num_pes; ++i) caches_.emplace_back(cfg);
-  if (coherent_) dir_.init(u64(num_pes) * cfg.num_lines());
+  if (coherent_) {
+    if (wide_) wdir_.init(u64(num_pes) * cfg.num_lines());
+    else dir_.init(u64(num_pes) * cfg.num_lines());
+  }
 }
 
 // --- sharing directory ----------------------------------------------------
 
+template <typename E>
 bool MultiCacheSim::others_hold(unsigned pe, u64 tag) const {
-  const DirEntry* e = dir_.find(tag);
-  return e && (e->holders & ~bit(pe)) != 0;
+  const E* e = dir<E>().find(tag);
+  return e && pe_any_other(e->holders, pe);
 }
 
+template <typename E>
 int MultiCacheSim::dirty_holder(unsigned pe, u64 tag) const {
-  const DirEntry* e = dir_.find(tag);
-  if (!e) return -1;
-  u64 m = e->dirty & ~bit(pe);
-  return m ? std::countr_zero(m) : -1;
+  const E* e = dir<E>().find(tag);
+  return e ? pe_first_other(e->dirty, pe) : -1;
 }
 
+template <typename E>
+bool MultiCacheSim::other_dirty(unsigned pe, u64 tag) const {
+  const E* e = dir<E>().find(tag);
+  return e && pe_any_other(e->dirty, pe);
+}
+
+template <typename E>
 void MultiCacheSim::invalidate_others(unsigned pe, u64 tag) {
-  DirEntry* e = dir_.find(tag);
+  E* e = dir<E>().find(tag);
   if (!e) return;
-  u64 m = e->holders & ~bit(pe);
-  while (m) {
-    unsigned i = static_cast<unsigned>(std::countr_zero(m));
-    m &= m - 1;
-    caches_[i].invalidate(tag);
-  }
-  e->holders &= bit(pe);
-  e->dirty &= bit(pe);
-  e->excl &= bit(pe);
-  if (!e->holders) dir_.erase(tag);
+  pe_for_each_other(e->holders, pe,
+                    [&](unsigned i) { caches_[i].invalidate(tag); });
+  pe_retain_only(e->holders, pe);
+  pe_retain_only(e->dirty, pe);
+  pe_retain_only(e->excl, pe);
+  if (!pe_any(e->holders)) dir<E>().erase(tag);
 }
 
+template <typename E>
 bool MultiCacheSim::broadcast_miss_supply(unsigned pe, u64 tag) {
-  DirEntry* e = dir_.find(tag);
-  u64 b = bit(pe);
+  E* e = dir<E>().find(tag);
   if (!e) {
     stats_.fetch_words += L();
     stats_.bus_words += L();
     return false;
   }
-  u64 dm = e->dirty & ~b;
-  if (dm) {
+  int dh = pe_first_other(e->dirty, pe);
+  if (dh >= 0) {
     // Owner supplies the line and keeps a shared (clean) copy; memory
     // is updated by the same transaction.
-    unsigned dh = static_cast<unsigned>(std::countr_zero(dm));
-    caches_[dh].probe(tag)->state = LineState::Shared;
-    e->dirty &= ~bit(dh);
+    caches_[static_cast<unsigned>(dh)].probe(tag)->state = LineState::Shared;
+    pe_reset(e->dirty, static_cast<unsigned>(dh));
     stats_.flush_words += L();
     stats_.bus_words += L();
   } else {
     stats_.fetch_words += L();
     stats_.bus_words += L();
   }
-  u64 xm = e->excl & ~b;
-  while (xm) {
-    unsigned i = static_cast<unsigned>(std::countr_zero(xm));
-    xm &= xm - 1;
+  pe_for_each_other(e->excl, pe, [&](unsigned i) {
     caches_[i].probe(tag)->state = LineState::Shared;
-  }
-  e->excl &= b;
-  return (e->holders & ~b) != 0;
+  });
+  pe_retain_only(e->excl, pe);
+  return pe_any_other(e->holders, pe);
 }
 
+template <typename E>
 void MultiCacheSim::dir_remove(unsigned pe, u64 tag) {
-  DirEntry* e = dir_.find(tag);
+  E* e = dir<E>().find(tag);
   if (!e) return;
-  u64 keep = ~bit(pe);
-  e->holders &= keep;
-  e->dirty &= keep;
-  e->excl &= keep;
-  if (!e->holders) dir_.erase(tag);
+  pe_reset(e->holders, pe);
+  pe_reset(e->dirty, pe);
+  pe_reset(e->excl, pe);
+  if (!pe_any(e->holders)) dir<E>().erase(tag);
 }
 
+template <typename E>
 void MultiCacheSim::set_state(unsigned pe, Line* l, LineState st) {
   l->state = st;
   if (!coherent_) return;
-  dir_set_state_bits(dir_.upsert(l->tag), bit(pe), st);
+  dir_set_state_bits(dir<E>().upsert(l->tag), pe, st);
 }
 
 /// Inserts a line, accounting a dirty eviction if one falls out.
+template <typename E>
 void MultiCacheSim::fill(unsigned pe, u64 tag, LineState st) {
   auto ev = caches_[pe].insert(tag, st);
   if (coherent_) {
     // Order matters: removing the evicted tag first can backward-shift
     // other entries, so the upsert of `tag` must come after it.
-    if (ev.valid) dir_remove(pe, ev.line.tag);
-    DirEntry& e = dir_.upsert(tag);
-    u64 b = bit(pe);
-    e.holders |= b;
-    dir_set_state_bits(e, b, st);
+    if (ev.valid) dir_remove<E>(pe, ev.line.tag);
+    E& e = dir<E>().upsert(tag);
+    pe_set(e.holders, pe);
+    dir_set_state_bits(e, pe, st);
   }
   if (ev.valid && ev.line.state == LineState::Dirty) {
     stats_.writeback_words += L();
@@ -144,15 +151,21 @@ void MultiCacheSim::fill(unsigned pe, u64 tag, LineState st) {
   }
 }
 
+template <typename E>
+void MultiCacheSim::access_dispatch(const MemRef& r) {
+  switch (cfg_.protocol) {
+    case Protocol::WriteThrough: access_write_through<E>(r); break;
+    case Protocol::Copyback: access_copyback<E>(r); break;
+    case Protocol::WriteInBroadcast: access_write_in_broadcast<E>(r); break;
+    case Protocol::WriteThroughBroadcast: access_write_update_broadcast<E>(r); break;
+    case Protocol::Hybrid: access_hybrid<E>(r); break;
+  }
+}
+
 void MultiCacheSim::access(const MemRef& r) {
   count_ref(r);
-  switch (cfg_.protocol) {
-    case Protocol::WriteThrough: access_write_through(r); break;
-    case Protocol::Copyback: access_copyback(r); break;
-    case Protocol::WriteInBroadcast: access_write_in_broadcast(r); break;
-    case Protocol::WriteThroughBroadcast: access_write_update_broadcast(r); break;
-    case Protocol::Hybrid: access_hybrid(r); break;
-  }
+  if (wide_) access_dispatch<WideDirEntry>(r);
+  else access_dispatch<DirEntry>(r);
 }
 
 StepOutcome MultiCacheSim::step(const MemRef& r) {
@@ -183,24 +196,30 @@ void MultiCacheSim::replay_loop(const u64* packed, std::size_t n) {
   }
 }
 
-void MultiCacheSim::replay(const u64* packed, std::size_t n) {
+template <typename E>
+void MultiCacheSim::replay_dispatch(const u64* packed, std::size_t n) {
   switch (cfg_.protocol) {
     case Protocol::WriteThrough:
-      replay_loop<&MultiCacheSim::access_write_through>(packed, n);
+      replay_loop<&MultiCacheSim::access_write_through<E>>(packed, n);
       break;
     case Protocol::Copyback:
-      replay_loop<&MultiCacheSim::access_copyback>(packed, n);
+      replay_loop<&MultiCacheSim::access_copyback<E>>(packed, n);
       break;
     case Protocol::WriteInBroadcast:
-      replay_loop<&MultiCacheSim::access_write_in_broadcast>(packed, n);
+      replay_loop<&MultiCacheSim::access_write_in_broadcast<E>>(packed, n);
       break;
     case Protocol::WriteThroughBroadcast:
-      replay_loop<&MultiCacheSim::access_write_update_broadcast>(packed, n);
+      replay_loop<&MultiCacheSim::access_write_update_broadcast<E>>(packed, n);
       break;
     case Protocol::Hybrid:
-      replay_loop<&MultiCacheSim::access_hybrid>(packed, n);
+      replay_loop<&MultiCacheSim::access_hybrid<E>>(packed, n);
       break;
   }
+}
+
+void MultiCacheSim::replay(const u64* packed, std::size_t n) {
+  if (wide_) replay_dispatch<WideDirEntry>(packed, n);
+  else replay_dispatch<DirEntry>(packed, n);
 }
 
 bool MultiCacheSim::invariants_ok() const {
@@ -224,30 +243,37 @@ bool MultiCacheSim::invariants_ok() const {
   return true;
 }
 
-bool MultiCacheSim::directory_consistent() const {
-  if (!coherent_) return dir_.size() == 0;
-  std::unordered_map<u64, DirEntry> want;
+template <typename E>
+bool MultiCacheSim::directory_consistent_t() const {
+  std::unordered_map<u64, E> want;
   for (unsigned pe = 0; pe < caches_.size(); ++pe) {
     for (const Line& l : caches_[pe].lines()) {
-      DirEntry& e = want[l.tag];
-      e.holders |= bit(pe);
-      if (l.state == LineState::Dirty) e.dirty |= bit(pe);
-      if (l.state == LineState::Exclusive) e.excl |= bit(pe);
+      E& e = want[l.tag];
+      pe_set(e.holders, pe);
+      if (l.state == LineState::Dirty) pe_set(e.dirty, pe);
+      if (l.state == LineState::Exclusive) pe_set(e.excl, pe);
     }
   }
-  if (want.size() != dir_.size()) return false;
+  if (want.size() != dir<E>().size()) return false;
   bool ok = true;
-  dir_.for_each([&](u64 tag, const DirEntry& d) {
+  dir<E>().for_each([&](u64 tag, const E& d) {
     auto it = want.find(tag);
-    if (it == want.end() || it->second.holders != d.holders ||
-        it->second.dirty != d.dirty || it->second.excl != d.excl)
+    if (it == want.end() || !(it->second.holders == d.holders) ||
+        !(it->second.dirty == d.dirty) || !(it->second.excl == d.excl))
       ok = false;
   });
   return ok;
 }
 
+bool MultiCacheSim::directory_consistent() const {
+  if (!coherent_) return dir_.size() == 0 && wdir_.size() == 0;
+  return wide_ ? directory_consistent_t<WideDirEntry>()
+               : directory_consistent_t<DirEntry>();
+}
+
 // --- conventional coherent write-through --------------------------------
 
+template <typename E>
 void MultiCacheSim::access_write_through(const MemRef& r) {
   Cache& c = caches_[r.pe];
   u64 tag = tag_of(r.addr);
@@ -257,24 +283,25 @@ void MultiCacheSim::access_write_through(const MemRef& r) {
     ++stats_.misses;
     stats_.fetch_words += L();
     stats_.bus_words += L();
-    fill(r.pe, tag, LineState::Shared);
+    fill<E>(r.pe, tag, LineState::Shared);
     return;
   }
   // Every write goes to memory; snooping caches invalidate their copy.
   stats_.writethrough_words += 1;
   stats_.bus_words += 1;
-  invalidate_others(r.pe, tag);
+  invalidate_others<E>(r.pe, tag);
   if (l) return;  // write hit: line updated in place
   ++stats_.misses;
   if (cfg_.write_allocate) {
     stats_.fetch_words += L();
     stats_.bus_words += L();
-    fill(r.pe, tag, LineState::Shared);
+    fill<E>(r.pe, tag, LineState::Shared);
   }
 }
 
 // --- non-coherent copy-back (sequential baseline) ------------------------
 
+template <typename E>
 void MultiCacheSim::access_copyback(const MemRef& r) {
   Cache& c = caches_[r.pe];
   u64 tag = tag_of(r.addr);
@@ -287,13 +314,13 @@ void MultiCacheSim::access_copyback(const MemRef& r) {
   if (!r.write) {
     stats_.fetch_words += L();
     stats_.bus_words += L();
-    fill(r.pe, tag, LineState::Exclusive);
+    fill<E>(r.pe, tag, LineState::Exclusive);
     return;
   }
   if (cfg_.write_allocate) {
     stats_.fetch_words += L();
     stats_.bus_words += L();
-    fill(r.pe, tag, LineState::Dirty);
+    fill<E>(r.pe, tag, LineState::Dirty);
   } else {
     stats_.writethrough_words += 1;
     stats_.bus_words += 1;
@@ -302,6 +329,7 @@ void MultiCacheSim::access_copyback(const MemRef& r) {
 
 // --- write-in broadcast (invalidate, copy-back, cache-to-cache) ----------
 
+template <typename E>
 void MultiCacheSim::access_write_in_broadcast(const MemRef& r) {
   Cache& c = caches_[r.pe];
   u64 tag = tag_of(r.addr);
@@ -310,8 +338,9 @@ void MultiCacheSim::access_write_in_broadcast(const MemRef& r) {
   if (!r.write) {
     if (l) return;
     ++stats_.misses;
-    fill(r.pe, tag,
-         broadcast_miss_supply(r.pe, tag) ? LineState::Shared : LineState::Exclusive);
+    fill<E>(r.pe, tag,
+            broadcast_miss_supply<E>(r.pe, tag) ? LineState::Shared
+                                                : LineState::Exclusive);
     return;
   }
 
@@ -320,14 +349,14 @@ void MultiCacheSim::access_write_in_broadcast(const MemRef& r) {
       case LineState::Dirty:
         return;
       case LineState::Exclusive:
-        set_state(r.pe, l, LineState::Dirty);
+        set_state<E>(r.pe, l, LineState::Dirty);
         return;
       case LineState::Shared:
         // One bus word-time to broadcast the invalidation.
         stats_.invalidations += 1;
         stats_.bus_words += 1;
-        invalidate_others(r.pe, tag);
-        set_state(r.pe, l, LineState::Dirty);
+        invalidate_others<E>(r.pe, tag);
+        set_state<E>(r.pe, l, LineState::Dirty);
         return;
       case LineState::Invalid:
         break;
@@ -337,26 +366,26 @@ void MultiCacheSim::access_write_in_broadcast(const MemRef& r) {
   if (cfg_.write_allocate) {
     // Read-for-ownership: fetch the line (from a dirty owner or from
     // memory) and invalidate all other copies in the same transaction.
-    DirEntry* e = dir_.find(tag);
-    if (e && (e->dirty & ~bit(r.pe))) {
+    if (other_dirty<E>(r.pe, tag)) {
       stats_.flush_words += L();
       stats_.bus_words += L();
     } else {
       stats_.fetch_words += L();
       stats_.bus_words += L();
     }
-    invalidate_others(r.pe, tag);
-    fill(r.pe, tag, LineState::Dirty);
+    invalidate_others<E>(r.pe, tag);
+    fill<E>(r.pe, tag, LineState::Dirty);
   } else {
     // Word write to memory plus invalidation of all copies.
     stats_.writethrough_words += 1;
     stats_.bus_words += 1;
-    invalidate_others(r.pe, tag);
+    invalidate_others<E>(r.pe, tag);
   }
 }
 
 // --- write-through broadcast (update) -------------------------------------
 
+template <typename E>
 void MultiCacheSim::access_write_update_broadcast(const MemRef& r) {
   Cache& c = caches_[r.pe];
   u64 tag = tag_of(r.addr);
@@ -365,29 +394,30 @@ void MultiCacheSim::access_write_update_broadcast(const MemRef& r) {
   if (!r.write) {
     if (l) return;
     ++stats_.misses;
-    fill(r.pe, tag,
-         broadcast_miss_supply(r.pe, tag) ? LineState::Shared : LineState::Exclusive);
+    fill<E>(r.pe, tag,
+            broadcast_miss_supply<E>(r.pe, tag) ? LineState::Shared
+                                                : LineState::Exclusive);
     return;
   }
 
   if (l) {
     if (l->state == LineState::Shared) {
-      if (others_hold(r.pe, tag)) {
+      if (others_hold<E>(r.pe, tag)) {
         // Broadcast the word; sharers and memory update in place.
         stats_.update_words += 1;
         stats_.bus_words += 1;
       } else {
-        set_state(r.pe, l, LineState::Dirty);  // last sharer: private again
+        set_state<E>(r.pe, l, LineState::Dirty);  // last sharer: private again
       }
       return;
     }
-    set_state(r.pe, l, LineState::Dirty);
+    set_state<E>(r.pe, l, LineState::Dirty);
     return;
   }
   ++stats_.misses;
   if (cfg_.write_allocate) {
-    bool shared = broadcast_miss_supply(r.pe, tag);
-    fill(r.pe, tag, shared ? LineState::Shared : LineState::Dirty);
+    bool shared = broadcast_miss_supply<E>(r.pe, tag);
+    fill<E>(r.pe, tag, shared ? LineState::Shared : LineState::Dirty);
     if (shared) {
       stats_.update_words += 1;
       stats_.bus_words += 1;
@@ -400,6 +430,7 @@ void MultiCacheSim::access_write_update_broadcast(const MemRef& r) {
 
 // --- hybrid (tag-driven) ---------------------------------------------------
 
+template <typename E>
 void MultiCacheSim::access_hybrid(const MemRef& r) {
   Cache& c = caches_[r.pe];
   u64 tag = tag_of(r.addr);
@@ -414,10 +445,10 @@ void MultiCacheSim::access_hybrid(const MemRef& r) {
     // words by write-through, so fetching from memory is always safe
     // for global reads. Only a local-tagged read of a line that is
     // dirty in another cache is a Table-1 violation.
-    if (!global && dirty_holder(r.pe, tag) >= 0) ++stats_.coherence_violations;
+    if (!global && dirty_holder<E>(r.pe, tag) >= 0) ++stats_.coherence_violations;
     stats_.fetch_words += L();
     stats_.bus_words += L();
-    fill(r.pe, tag, LineState::Shared);
+    fill<E>(r.pe, tag, LineState::Shared);
     return;
   }
 
@@ -426,13 +457,13 @@ void MultiCacheSim::access_hybrid(const MemRef& r) {
     // memory write (no extra bus words). Own copy updated in place.
     stats_.writethrough_words += 1;
     stats_.bus_words += 1;
-    invalidate_others(r.pe, tag);
+    invalidate_others<E>(r.pe, tag);
     if (l) return;
     ++stats_.misses;
     if (cfg_.write_allocate) {
       stats_.fetch_words += L();
       stats_.bus_words += L();
-      fill(r.pe, tag, LineState::Shared);
+      fill<E>(r.pe, tag, LineState::Shared);
     }
     return;
   }
@@ -440,20 +471,35 @@ void MultiCacheSim::access_hybrid(const MemRef& r) {
   // Local data: copy-back. Another PE modifying this PE's local line
   // would be a violation; mere clean copies (from global words in the
   // same line) are harmless.
-  if (dirty_holder(r.pe, tag) >= 0) ++stats_.coherence_violations;
+  if (dirty_holder<E>(r.pe, tag) >= 0) ++stats_.coherence_violations;
   if (l) {
-    set_state(r.pe, l, LineState::Dirty);
+    set_state<E>(r.pe, l, LineState::Dirty);
     return;
   }
   ++stats_.misses;
   if (cfg_.write_allocate) {
     stats_.fetch_words += L();
     stats_.bus_words += L();
-    fill(r.pe, tag, LineState::Dirty);
+    fill<E>(r.pe, tag, LineState::Dirty);
   } else {
     stats_.writethrough_words += 1;
     stats_.bus_words += 1;
   }
 }
+
+// Explicit instantiations of both directory flavours: the handlers are
+// referenced by member-pointer template arguments from this file's
+// replay_dispatch and from HierCacheSim's batch loops (hierarchy.cpp).
+#define RAPWAM_INSTANTIATE_DIR(E)                                             \
+  template void MultiCacheSim::access_write_through<E>(const MemRef&);        \
+  template void MultiCacheSim::access_copyback<E>(const MemRef&);             \
+  template void MultiCacheSim::access_write_in_broadcast<E>(const MemRef&);   \
+  template void MultiCacheSim::access_write_update_broadcast<E>(const MemRef&); \
+  template void MultiCacheSim::access_hybrid<E>(const MemRef&);               \
+  template void MultiCacheSim::access_dispatch<E>(const MemRef&)
+
+RAPWAM_INSTANTIATE_DIR(MultiCacheSim::DirEntry);
+RAPWAM_INSTANTIATE_DIR(MultiCacheSim::WideDirEntry);
+#undef RAPWAM_INSTANTIATE_DIR
 
 }  // namespace rapwam

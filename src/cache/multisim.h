@@ -7,19 +7,29 @@
 //
 // Coherence bookkeeping is directory-based (docs/DESIGN.md §6): a
 // single hash table maps each cached line tag to a packed entry of
-// three 64-bit per-PE masks (holders / dirty owners / exclusive
-// owners). Snoop queries that used to broadcast-probe every other
-// PE's cache — others_hold, dirty_holder, invalidate_others, and the
-// miss-supply transaction (dirty-owner flush + exclusive demotion) —
-// are O(1) bit operations on that entry, independent of the PE count,
-// and invalidations walk only the actual holder set. A cross-checked
+// three per-PE masks (holders / dirty owners / exclusive owners).
+// Snoop queries that used to broadcast-probe every other PE's cache —
+// others_hold, dirty_holder, invalidate_others, and the miss-supply
+// transaction (dirty-owner flush + exclusive demotion) — are O(1) bit
+// operations on that entry, independent of the PE count, and
+// invalidations walk only the actual holder set. A cross-checked
 // naive broadcast implementation is retained in cache/refsim.h for
 // differential testing.
+//
+// The masks come in two representations (docs/DESIGN.md §11): raw u64
+// words — the flat fast path, selected for <= 64-PE simulators, byte-
+// identical to the pre-PR-7 directory — and multi-word PeSet masks
+// (cache/peset.h) for larger machines, up to kMaxPes. The protocol
+// handlers are templated over the entry type, so both paths run the
+// identical transition logic; tests/test_widepe_diff.cpp pins them
+// against each other and against the broadcast reference simulator.
 #pragma once
 
+#include <type_traits>
 #include <vector>
 
 #include "cache/cache.h"
+#include "cache/peset.h"
 #include "support/flat_table.h"
 #include "trace/chunks.h"
 #include "trace/tracebuf.h"
@@ -98,9 +108,16 @@ struct StepOutcome {
   bool hit() const { return !miss; }
 };
 
+/// Sharing-directory mask representation (docs/DESIGN.md §11). Auto
+/// picks Flat for <= 64 PEs (the zero-cost fast path) and Wide above;
+/// the explicit values exist for the differential suites, which force
+/// Wide at small PE counts to pin it bit-identical to Flat.
+enum class DirRep : u8 { Auto, Flat, Wide };
+
 class MultiCacheSim {
  public:
-  MultiCacheSim(const CacheConfig& cfg, unsigned num_pes);
+  MultiCacheSim(const CacheConfig& cfg, unsigned num_pes,
+                DirRep rep = DirRep::Auto);
 
   void access(const MemRef& r);
   /// Per-reference step API: same transition/accounting as access(),
@@ -123,6 +140,9 @@ class MultiCacheSim {
   const CacheConfig& config() const { return cfg_; }
   const Cache& cache(unsigned pe) const { return caches_[pe]; }
   unsigned num_caches() const { return static_cast<unsigned>(caches_.size()); }
+  /// True when the multi-word PeSet directory is active (num_pes > 64,
+  /// or forced by DirRep::Wide for differential testing).
+  bool wide_directory() const { return wide_; }
 
   /// Protocol coherence invariants (tests): at most one Dirty holder
   /// per line, and a Dirty/Exclusive line has no other holders.
@@ -141,17 +161,33 @@ class MultiCacheSim {
   // the caches, the sharing directory (for directory-precise
   // back-invalidation) and the counters, but overrides nothing.
 
-  /// One sharing-directory entry, keyed by line tag. Bit i of each
-  /// mask refers to PE i (hence the <= 64 PEs limit).
-  struct DirEntry {
-    u64 holders = 0;  ///< PEs with the line in any valid state
-    u64 dirty = 0;    ///< PEs holding it Dirty
-    u64 excl = 0;     ///< PEs holding it Exclusive
+  /// One sharing-directory entry, keyed by line tag; M is the per-PE
+  /// mask representation (cache/peset.h). Bit i refers to PE i.
+  template <typename M>
+  struct DirEntryT {
+    M holders{};  ///< PEs with the line in any valid state
+    M dirty{};    ///< PEs holding it Dirty
+    M excl{};     ///< PEs holding it Exclusive
   };
+  /// Flat fast-path entry (<= 64 PEs) — the pre-PR-7 representation.
+  using DirEntry = DirEntryT<u64>;
+  /// Multi-word entry for > 64-PE machines (and forced-wide tests).
+  using WideDirEntry = DirEntryT<PeSet>;
 
-  static u64 bit(unsigned pe) { return u64(1) << pe; }
   u64 tag_of(u64 addr) const { return addr / cfg_.line_words; }
   u64 L() const { return cfg_.line_words; }
+
+  /// The active directory for entry type E: dir_ for the flat fast
+  /// path, wdir_ for the wide one. Exactly one is ever populated.
+  template <typename E>
+  FlatTagMap<E>& dir() {
+    if constexpr (std::is_same_v<E, DirEntry>) return dir_;
+    else return wdir_;
+  }
+  template <typename E>
+  const FlatTagMap<E>& dir() const {
+    return const_cast<MultiCacheSim*>(this)->dir<E>();
+  }
 
   /// Shared per-reference preamble of access() and replay_loop().
   void count_ref(const MemRef& r) {
@@ -160,37 +196,71 @@ class MultiCacheSim {
     if (r.write) ++stats_.writes; else ++stats_.reads;
   }
 
-  /// Mirrors PE `b`'s line state into a directory entry's masks.
-  static void dir_set_state_bits(DirEntry& e, u64 b, LineState st) {
-    e.dirty = (st == LineState::Dirty) ? (e.dirty | b) : (e.dirty & ~b);
-    e.excl = (st == LineState::Exclusive) ? (e.excl | b) : (e.excl & ~b);
+  /// Mirrors PE `pe`'s line state into a directory entry's masks.
+  template <typename E>
+  static void dir_set_state_bits(E& e, unsigned pe, LineState st) {
+    pe_assign(e.dirty, pe, st == LineState::Dirty);
+    pe_assign(e.excl, pe, st == LineState::Exclusive);
   }
 
+  // Directory snoop/upkeep primitives, templated over the entry type
+  // so the flat and wide paths share one implementation (multisim.cpp
+  // explicitly instantiates both).
+
   /// True if any cache other than `pe` holds the tag.
+  template <typename E>
   bool others_hold(unsigned pe, u64 tag) const;
+  template <typename E>
   int dirty_holder(unsigned pe, u64 tag) const;  // -1 if none
+  /// True if a cache other than `pe` holds the tag Dirty (the
+  /// read-for-ownership supplier check, without materialising the id).
+  template <typename E>
+  bool other_dirty(unsigned pe, u64 tag) const;
+  template <typename E>
   void invalidate_others(unsigned pe, u64 tag);
   /// Broadcast-protocol miss transaction, one directory find: a dirty
   /// owner supplies the line (L flush words, owner demoted to Shared)
   /// or memory does (L fetch words), remote Exclusive copies become
   /// Shared. Returns true if other caches still hold the line.
+  template <typename E>
   bool broadcast_miss_supply(unsigned pe, u64 tag);
+  template <typename E>
   void fill(unsigned pe, u64 tag, LineState st);
   /// State transition on a held line, mirrored into the directory.
+  template <typename E>
   void set_state(unsigned pe, Line* l, LineState st);
+  template <typename E>
   void dir_remove(unsigned pe, u64 tag);
 
+  // Per-protocol reference handlers; E selects the directory flavour.
+  template <typename E>
   void access_write_through(const MemRef& r);
+  template <typename E>
   void access_copyback(const MemRef& r);
+  template <typename E>
   void access_write_in_broadcast(const MemRef& r);
+  template <typename E>
   void access_write_update_broadcast(const MemRef& r);
+  template <typename E>
   void access_hybrid(const MemRef& r);
+
+  /// Runs the protocol-selected handler for one counted reference.
+  template <typename E>
+  void access_dispatch(const MemRef& r);
 
   template <void (MultiCacheSim::*Handler)(const MemRef&)>
   void replay_loop(const u64* packed, std::size_t n);
+  /// Protocol switch hoisted out of the batch loop, per entry type.
+  template <typename E>
+  void replay_dispatch(const u64* packed, std::size_t n);
+
+  /// Directory/cache cross-check for the active representation.
+  template <typename E>
+  bool directory_consistent_t() const;
 
   CacheConfig cfg_;
   bool coherent_ = true;  ///< false for Copyback: no directory upkeep
+  bool wide_ = false;     ///< wide (PeSet) directory active
   std::vector<Cache> caches_;
   /// Tag of the line the most recent fill() displaced dirty, if any.
   /// Reset by the hierarchy layer before each reference so it can
@@ -198,11 +268,14 @@ class MultiCacheSim {
   /// otherwise.
   u64 last_evict_tag_ = 0;
   bool last_evict_dirty_ = false;
-  /// The sharing directory: tag -> DirEntry, sized once to 2x the
-  /// total line capacity of all caches (the number of distinct tags
+  /// The sharing directory: tag -> entry, sized once to 2x the total
+  /// line capacity of all caches (the number of distinct tags
   /// simultaneously cached is bounded by the number of line slots),
-  /// so it never rehashes and stays at most half full.
+  /// so it never rehashes and stays at most half full. Exactly one of
+  /// the two representations is initialised (the other stays at its
+  /// empty 16-bucket default).
   FlatTagMap<DirEntry> dir_;
+  FlatTagMap<WideDirEntry> wdir_;
   TrafficStats stats_;
 };
 

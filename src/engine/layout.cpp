@@ -1,10 +1,15 @@
 #include "engine/layout.h"
 
+#include "trace/memref.h"
+
 namespace rapwam {
 
 Layout::Layout(unsigned num_pes, const AreaSizes& sizes)
     : num_pes_(num_pes), sizes_(sizes) {
-  RW_CHECK(num_pes >= 1 && num_pes <= 64, "PE count must be in [1,64]");
+  // The emulator records its references into the packed trace format,
+  // whose PE-id field bounds the machine size (trace/memref.h).
+  RW_CHECK(num_pes >= 1 && num_pes <= kMaxTracePes,
+           "PE count must be in [1,kMaxTracePes]");
   u64 off = 0;
   auto set = [&](Area a, u64 sz) {
     offset_[static_cast<std::size_t>(a)] = off;

@@ -9,7 +9,9 @@ namespace rapwam {
 using namespace frames;
 
 Machine::Machine(Program& prog, MachineConfig cfg) : prog_(prog), cfg_(std::move(cfg)) {
-  RW_CHECK(cfg_.num_pes >= 1 && cfg_.num_pes <= 64, "num_pes must be in [1,64]");
+  // Capped by the trace format's 8-bit PE-id field (trace/memref.h).
+  RW_CHECK(cfg_.num_pes >= 1 && cfg_.num_pes <= kMaxTracePes,
+           "num_pes must be in [1,kMaxTracePes]");
   nil_atom_ = prog_.atoms().intern("[]");
 }
 

@@ -66,7 +66,10 @@ TimingParams golden_hier_timing() { return TimingParams{1, 1, 2, 4, 10}; }
 
 std::vector<GoldenEntry> golden_compute(const std::string& bench) {
   std::vector<GoldenEntry> out;
-  for (unsigned pes : {1u, 4u, 8u}) {
+  // 128 PEs pins the wide (PeSet) directory's numbers alongside the
+  // flat fast path's; the pre-existing <= 64-PE entries are unchanged
+  // by construction (the flat path is byte-identical to pre-PR-7).
+  for (unsigned pes : {1u, 4u, 8u, 128u}) {
     std::shared_ptr<const GeneratedTrace> g =
         TraceLibrary::instance().get(bench, BenchScale::Small, pes);
     std::string prefix = "pes" + std::to_string(pes) + "/";

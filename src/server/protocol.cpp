@@ -140,7 +140,11 @@ Request parse_request(const std::string& line, const RequestLimits& lim) {
     } else if (key == "scale") {
       r.scale = scale_from(string_of(val, key));
     } else if (key == "pes") {
-      r.pes = check_pes(static_cast<unsigned>(int_in(val, key, 1, 64)));
+      // Single source of truth for the bound: the simulator's own cap
+      // (check_pes re-validates; the range here makes int_in produce
+      // the precise out-of-range message).
+      r.pes = check_pes(
+          static_cast<unsigned>(int_in(val, key, 1, static_cast<i64>(kMaxPes))));
       r.explicit_pes = true;
     } else if (key == "protocol") {
       r.cfg.protocol = protocol_from_name(string_of(val, key));
@@ -192,6 +196,16 @@ Request parse_request(const std::string& line, const RequestLimits& lim) {
   }
 
   // Cross-member checks.
+  if (r.op == ReqOp::Replay || r.op == ReqOp::Time || r.op == ReqOp::Sweep) {
+    // A bench-sourced trace is *generated* at r.pes, and the emulator
+    // is bounded by the trace format's PE-id field — reject up front
+    // rather than failing mid-generation. (A trace-file replay may
+    // still size the simulator up to kMaxPes.)
+    if (r.explicit_pes && r.trace_path.empty() && r.pes > kMaxTracePes)
+      fail("\"pes\" > " + std::to_string(kMaxTracePes) +
+           " requires a pre-recorded \"trace\" (bench traces are capped by "
+           "the packed trace format's 8-bit PE id)");
+  }
   if (r.op == ReqOp::Replay || r.op == ReqOp::Time) {
     if (!r.bench.empty() && !r.trace_path.empty())
       fail("\"bench\" and \"trace\" are mutually exclusive");

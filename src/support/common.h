@@ -35,4 +35,16 @@ class Error : public std::runtime_error {
     if (!(cond)) ::rapwam::fail(std::string("internal error: ") + (msg)); \
   } while (0)
 
+/// Debug-only invariant for hot paths where the condition is already
+/// structurally guaranteed by checks upstream (compiled out in
+/// Release; Debug/sanitizer builds fail loudly if a future change
+/// bypasses those checks).
+#ifndef NDEBUG
+#define RW_DCHECK(cond, msg) RW_CHECK(cond, msg)
+#else
+#define RW_DCHECK(cond, msg) \
+  do {                       \
+  } while (0)
+#endif
+
 }  // namespace rapwam

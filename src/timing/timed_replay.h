@@ -131,7 +131,12 @@ unsigned saturation_pe_count(
 
 class TimedReplay {
  public:
-  TimedReplay(const CacheConfig& cfg, unsigned num_pes, const TimingParams& tp);
+  /// `rep` selects the sharing-directory representation and is passed
+  /// through to the coherence engine (the timing layer itself is
+  /// representation-agnostic; the differential suite forces Wide here
+  /// to pin timed wide-directory replays against flat ones).
+  TimedReplay(const CacheConfig& cfg, unsigned num_pes, const TimingParams& tp,
+              DirRep rep = DirRep::Auto);
 
   void step(const MemRef& r);
   void replay(const u64* packed, std::size_t n);

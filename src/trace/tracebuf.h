@@ -20,7 +20,7 @@ struct RefCounts {
   u64 busy = 0;  ///< refs issued while doing useful work ("work" in Fig. 2)
   std::array<u64, kAreaCount> by_area{};
   std::array<u64, kObjClassCount> by_class{};
-  std::array<u64, 64> by_pe{};
+  std::array<u64, kMaxTracePes> by_pe{};
 
   void add(const MemRef& r) {
     ++total;
@@ -28,7 +28,7 @@ struct RefCounts {
     if (r.busy) ++busy;
     by_area[static_cast<std::size_t>(traits_of(r.cls).area)]++;
     by_class[static_cast<std::size_t>(r.cls)]++;
-    if (r.pe < by_pe.size()) by_pe[r.pe]++;
+    by_pe[r.pe]++;  // u8 PE id: always < kMaxTracePes
   }
 
   /// PEs the counted stream was recorded on (highest PE id seen + 1).

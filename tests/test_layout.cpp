@@ -4,6 +4,7 @@
 
 #include "engine/cell.h"
 #include "engine/layout.h"
+#include "trace/memref.h"
 
 namespace rapwam {
 namespace {
@@ -50,7 +51,10 @@ TEST(Layout, TotalWords) {
 TEST(Layout, RejectsBadPeCounts) {
   AreaSizes sz;
   EXPECT_THROW(Layout(0, sz), Error);
-  EXPECT_THROW(Layout(65, sz), Error);
+  // The emulator is bounded by the trace format's 8-bit PE id, not the
+  // simulator's (larger) directory cap.
+  EXPECT_THROW(Layout(kMaxTracePes + 1, sz), Error);
+  EXPECT_NO_THROW(Layout(kMaxTracePes, sz));
 }
 
 TEST(Cell, TagsRoundTrip) {

@@ -175,14 +175,14 @@ TEST(ChunkStreamDetach, ThrowingConsumerDoesNotDeadlockTheWindow) {
 
 TEST(ChunkStreamDetach, StreamingSweepSurfacesConsumerFailureWithoutHanging) {
   // One healthy point and one that cannot even build its simulator
-  // (65 PEs exceeds the 64-bit holder masks). run_sweep_streaming must
-  // run the producer to completion, join everything, and rethrow the
-  // consumer's Error — not hang on the bounded window.
+  // (kMaxPes + 1 exceeds the directory's PE cap). run_sweep_streaming
+  // must run the producer to completion, join everything, and rethrow
+  // the consumer's Error — not hang on the bounded window.
   SweepPoint good;
   good.cfg = paper_cache_config(Protocol::WriteInBroadcast, 1024);
   good.num_pes = 2;
   SweepPoint bad = good;
-  bad.num_pes = 65;
+  bad.num_pes = kMaxPes + 1;
 
   EXPECT_THROW(
       run_sweep_streaming(

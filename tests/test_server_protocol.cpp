@@ -158,7 +158,10 @@ TEST(ParseRequest, RejectsInvalid) {
       R"({"no_op":1})",
       R"({"op":"warp"})",
       R"({"op":"replay","pes":0})",
-      R"({"op":"replay","pes":65})",
+      R"({"op":"replay","pes":1025})",             // > kMaxPes (simulator cap)
+      R"({"op":"replay","pes":257})",              // bench trace: > kMaxTracePes
+      R"({"op":"time","bench":"qsort","pes":300})",
+      R"({"op":"sweep","pes":512})",               // sweeps generate traces too
       R"({"op":"replay","size":0})",
       R"({"op":"replay","size":1030})",           // not a line multiple
       R"({"op":"replay","bench":"unknown"})",
