@@ -85,6 +85,58 @@ void Cache::invalidate(u64 tag) {
   --size_;
 }
 
+void Cache::save_state(ByteWriter& w) const {
+  w.put_u64(sets_.size());
+  for (const SetList& s : sets_) {
+    u64 count = 0;
+    for (u32 n = s.head; n != kNil; n = slots_[n].next) ++count;
+    w.put_u64(count);
+    for (u32 n = s.head; n != kNil; n = slots_[n].next) {
+      w.put_u64(slots_[n].line.tag);
+      w.put_u8(static_cast<u8>(slots_[n].line.state));
+    }
+  }
+}
+
+void Cache::restore_state(ByteReader& r) {
+  RW_CHECK(size_ == 0, "cache restore into a non-empty cache");
+  u64 nsets = r.get_u64();
+  if (nsets != sets_.size())
+    fail("checkpoint cache: set count " + std::to_string(nsets) +
+         " does not match the configured " + std::to_string(sets_.size()));
+  std::vector<Line> set_lines;
+  for (std::size_t si = 0; si < sets_.size(); ++si) {
+    u64 count = r.get_u64();
+    if (count > set_cap_)
+      fail("checkpoint cache: set " + std::to_string(si) + " holds " +
+           std::to_string(count) + " lines, capacity " +
+           std::to_string(set_cap_));
+    set_lines.clear();
+    for (u64 k = 0; k < count; ++k) {
+      u64 tag = r.get_u64();
+      u8 st = r.get_u8();
+      if (st > static_cast<u8>(LineState::Dirty))
+        fail("checkpoint cache: invalid line state " + std::to_string(st));
+      if (set_of(tag) != si)
+        fail("checkpoint cache: tag in the wrong set");
+      if (idx_.find(tag) != nullptr)
+        fail("checkpoint cache: duplicate tag");
+      set_lines.push_back(Line{tag, static_cast<LineState>(st)});
+      // Reserve the membership early so the duplicate check above sees
+      // tags from this set too; the real insert below overwrites it.
+      idx_.upsert(tag) = 0;
+    }
+    for (const Line& l : set_lines) idx_.erase(l.tag);
+    // Insert LRU-first: each insert pushes to the MRU end, so the
+    // serialized MRU→LRU order is reproduced exactly. The set cannot
+    // overflow (count <= set_cap_), so no eviction fires.
+    for (std::size_t k = set_lines.size(); k-- > 0;) {
+      Evicted ev = insert(set_lines[k].tag, set_lines[k].state);
+      RW_CHECK(!ev.valid, "cache restore evicted a line");
+    }
+  }
+}
+
 std::vector<Line> Cache::lines() const {
   std::vector<Line> out;
   out.reserve(size_);

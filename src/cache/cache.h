@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cache/config.h"
+#include "support/bytes.h"
 #include "support/flat_table.h"
 
 namespace rapwam {
@@ -70,6 +71,19 @@ class Cache {
   /// Snapshot of all valid lines (tests, invariant checking),
   /// most-recently-used first within each set.
   std::vector<Line> lines() const;
+
+  /// Checkpoint serialization (docs/DESIGN.md §12): the *semantic*
+  /// state — per-set (tag, state) lists in MRU→LRU order. Physical
+  /// slot indices, free-list order and hash layout are rebuilt by
+  /// restore_state and are unobservable (lookup/eviction behaviour
+  /// depends only on membership and LRU order), so a restored cache
+  /// replays bit-identically to the original.
+  void save_state(ByteWriter& w) const;
+  /// Rebuilds from a save_state stream. The cache must be freshly
+  /// constructed (empty) with the same configuration; throws Error on
+  /// any malformed input (bad counts, out-of-set tags, duplicate tags,
+  /// invalid line states) before trusting a single record.
+  void restore_state(ByteReader& r);
 
  private:
   static constexpr u32 kNil = 0xFFFFFFFFu;

@@ -226,4 +226,22 @@ bool HierCacheSim::inclusion_ok() const {
   return true;
 }
 
+void HierCacheSim::save_state(ByteWriter& w) const {
+  MultiCacheSim::save_state(w);
+  w.put_u8(l2_ ? 1 : 0);
+  if (l2_) l2_->save_state(w);
+}
+
+void HierCacheSim::restore_state(ByteReader& r) {
+  MultiCacheSim::restore_state(r);
+  bool has_l2 = r.get_u8() != 0;
+  if (has_l2 != l2_.has_value())
+    fail("checkpoint: L2 presence mismatch between snapshot and configuration");
+  if (l2_) {
+    l2_->restore_state(r);
+    if (!inclusion_ok())
+      fail("checkpoint: restored state violates the L2 inclusion invariant");
+  }
+}
+
 }  // namespace rapwam

@@ -62,6 +62,15 @@ class HierCacheSim : public MultiCacheSim {
   /// no stale L1 copies behind. Vacuously true otherwise.
   bool inclusion_ok() const;
 
+  /// Checkpoint serialization (docs/DESIGN.md §12): the base simulator
+  /// state plus the shared L2 contents. Same contract as the base —
+  /// restore into a freshly constructed simulator of the same
+  /// configuration; throws Error on malformed input (including an L2
+  /// presence mismatch or an inclusion violation) without leaving a
+  /// half-restored instance in use.
+  void save_state(ByteWriter& w) const;
+  void restore_state(ByteReader& r);
+
  private:
   /// L2-enabled batch path: like the base replay_loop, the protocol
   /// dispatch is hoisted out of the loop (one instantiation per

@@ -271,6 +271,175 @@ bool MultiCacheSim::directory_consistent() const {
                : directory_consistent_t<DirEntry>();
 }
 
+// --- checkpoint serialization (docs/DESIGN.md §12) -------------------------
+
+static_assert(sizeof(TrafficStats) == 19 * sizeof(u64),
+              "TrafficStats changed: update save_traffic/load_traffic and "
+              "bump kCheckpointVersion (checkpoint/checkpoint.h)");
+
+void save_traffic(ByteWriter& w, const TrafficStats& s) {
+  w.put_u64(s.refs);
+  w.put_u64(s.reads);
+  w.put_u64(s.writes);
+  w.put_u64(s.misses);
+  w.put_u64(s.bus_words);
+  w.put_u64(s.fetch_words);
+  w.put_u64(s.writeback_words);
+  w.put_u64(s.writethrough_words);
+  w.put_u64(s.invalidations);
+  w.put_u64(s.update_words);
+  w.put_u64(s.flush_words);
+  w.put_u64(s.coherence_violations);
+  w.put_u64(s.l2_hits);
+  w.put_u64(s.l2_misses);
+  w.put_u64(s.mem_fetch_words);
+  w.put_u64(s.mem_writeback_words);
+  w.put_u64(s.mem_word_writes);
+  w.put_u64(s.l2_back_invalidations);
+  w.put_u64(s.l2_back_inval_flush_words);
+}
+
+TrafficStats load_traffic(ByteReader& r) {
+  TrafficStats s;
+  s.refs = r.get_u64();
+  s.reads = r.get_u64();
+  s.writes = r.get_u64();
+  s.misses = r.get_u64();
+  s.bus_words = r.get_u64();
+  s.fetch_words = r.get_u64();
+  s.writeback_words = r.get_u64();
+  s.writethrough_words = r.get_u64();
+  s.invalidations = r.get_u64();
+  s.update_words = r.get_u64();
+  s.flush_words = r.get_u64();
+  s.coherence_violations = r.get_u64();
+  s.l2_hits = r.get_u64();
+  s.l2_misses = r.get_u64();
+  s.mem_fetch_words = r.get_u64();
+  s.mem_writeback_words = r.get_u64();
+  s.mem_word_writes = r.get_u64();
+  s.l2_back_invalidations = r.get_u64();
+  s.l2_back_inval_flush_words = r.get_u64();
+  return s;
+}
+
+namespace {
+
+// Mask serialization shared by both directory representations: a word
+// count then the raw words. The flat path always writes one word; the
+// wide path writes the PeSet's current words (capacity is a growth
+// artifact, not semantic state — the restored set is rebuilt by
+// membership and compares equal).
+void save_mask(ByteWriter& w, u64 m) {
+  w.put_u32(1);
+  w.put_u64(m);
+}
+void save_mask(ByteWriter& w, const PeSet& m) {
+  w.put_u32(m.num_words());
+  for (unsigned i = 0; i < m.num_words(); ++i) w.put_u64(m.word(i));
+}
+void load_mask(ByteReader& r, u64& m, unsigned num_pes) {
+  u32 nw = r.get_u32();
+  if (nw != 1) fail("checkpoint directory: flat mask with word count != 1");
+  m = r.get_u64();
+  if (num_pes < 64 && (m >> num_pes) != 0)
+    fail("checkpoint directory: mask bit >= simulator PE count");
+}
+void load_mask(ByteReader& r, PeSet& m, unsigned num_pes) {
+  u32 nw = r.get_u32();
+  if (nw == 0 || nw > (kMaxPes + 63) / 64)
+    fail("checkpoint directory: mask word count out of range");
+  for (unsigned i = 0; i < nw; ++i) {
+    u64 word = r.get_u64();
+    while (word) {
+      unsigned pe = i * 64 + static_cast<unsigned>(std::countr_zero(word));
+      if (pe >= num_pes)
+        fail("checkpoint directory: mask bit >= simulator PE count");
+      m.set(pe);
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename E>
+void MultiCacheSim::save_directory(ByteWriter& w) const {
+  const FlatTagMap<E>& d = dir<E>();
+  w.put_u64(d.size());
+  d.for_each([&](u64 tag, const E& e) {
+    w.put_u64(tag);
+    save_mask(w, e.holders);
+    save_mask(w, e.dirty);
+    save_mask(w, e.excl);
+  });
+}
+
+template <typename E>
+void MultiCacheSim::restore_directory(ByteReader& r) {
+  u64 n = r.get_u64();
+  // The directory is sized once at construction for the total line
+  // capacity; a count beyond it would overfill the never-rehashing
+  // table (and cannot be a real snapshot of this configuration).
+  u64 cap = coherent_ ? u64(caches_.size()) * cfg_.num_lines() : 0;
+  if (n > cap)
+    fail("checkpoint directory: " + std::to_string(n) +
+         " entries exceed the configuration's capacity of " +
+         std::to_string(cap));
+  FlatTagMap<E>& d = dir<E>();
+  unsigned pes = static_cast<unsigned>(caches_.size());
+  for (u64 i = 0; i < n; ++i) {
+    u64 tag = r.get_u64();
+    if (tag == FlatTagMap<E>::kEmptyKey)
+      fail("checkpoint directory: reserved tag value");
+    E e{};
+    load_mask(r, e.holders, pes);
+    load_mask(r, e.dirty, pes);
+    load_mask(r, e.excl, pes);
+    d.upsert(tag) = std::move(e);
+  }
+  if (d.size() != n) fail("checkpoint directory: duplicate tag");
+}
+
+void MultiCacheSim::save_state(ByteWriter& w) const {
+  w.put_u8(wide_ ? 1 : 0);
+  save_traffic(w, stats_);
+  w.put_u64(last_evict_tag_);
+  w.put_u8(last_evict_dirty_ ? 1 : 0);
+  w.put_u64(caches_.size());
+  for (const Cache& c : caches_) c.save_state(w);
+  if (wide_) save_directory<WideDirEntry>(w);
+  else save_directory<DirEntry>(w);
+}
+
+void MultiCacheSim::restore_state(ByteReader& r) {
+  if ((r.get_u8() != 0) != wide_)
+    fail("checkpoint: directory representation mismatch (flat vs wide)");
+  stats_ = load_traffic(r);
+  last_evict_tag_ = r.get_u64();
+  last_evict_dirty_ = r.get_u8() != 0;
+  u64 ncaches = r.get_u64();
+  if (ncaches != caches_.size())
+    fail("checkpoint: snapshot has " + std::to_string(ncaches) +
+         " PE caches, simulator has " + std::to_string(caches_.size()));
+  for (Cache& c : caches_) c.restore_state(r);
+  if (wide_) restore_directory<WideDirEntry>(r);
+  else restore_directory<DirEntry>(r);
+  // Deep cross-validation before the restored instance is trusted: the
+  // directory must mirror the restored cache contents exactly and the
+  // protocol invariants must hold — a frame that passed the checksum
+  // but encodes an impossible state is still rejected here. Hybrid is
+  // exempt from the invariant check: its live states legitimately
+  // carry multi-holder dirty lines when an address is classified
+  // "local" by one reference and "global" by another (exactly what
+  // stats_.coherence_violations counts), and a faithful restore must
+  // accept every reachable state.
+  if (coherent_ && !directory_consistent())
+    fail("checkpoint: directory does not match the restored cache contents");
+  if (cfg_.protocol != Protocol::Hybrid && !invariants_ok())
+    fail("checkpoint: restored state violates protocol coherence invariants");
+}
+
 // --- conventional coherent write-through --------------------------------
 
 template <typename E>

@@ -154,6 +154,20 @@ class MultiCacheSim {
   /// masks must exactly mirror the lines each cache holds.
   bool directory_consistent() const;
 
+  /// Checkpoint serialization (docs/DESIGN.md §12): traffic counters,
+  /// every PE cache (semantic per-set LRU state), and the sharing
+  /// directory in whichever representation is active. Determinism note:
+  /// hash-table layout and PeSet capacities are NOT captured — they are
+  /// rebuilt on restore and are unobservable to the replay (no stats or
+  /// transition reads iteration order), so a restored simulator
+  /// produces bit-identical TrafficStats from the same resume point.
+  void save_state(ByteWriter& w) const;
+  /// Rebuilds from a save_state stream into a freshly constructed
+  /// simulator of the SAME configuration (cfg, PE count, directory
+  /// representation). Throws Error on malformed input or representation
+  /// mismatch; callers discard the instance on failure.
+  void restore_state(ByteReader& r);
+
  protected:
   // Protected rather than private: HierCacheSim (cache/hierarchy.h)
   // layers a shared L2 on top by running the unchanged handlers below
@@ -274,9 +288,23 @@ class MultiCacheSim {
   /// so it never rehashes and stays at most half full. Exactly one of
   /// the two representations is initialised (the other stays at its
   /// empty 16-bucket default).
+  /// Directory serialization for entry type E (multisim.cpp
+  /// instantiates both flavours).
+  template <typename E>
+  void save_directory(ByteWriter& w) const;
+  template <typename E>
+  void restore_directory(ByteReader& r);
+
   FlatTagMap<DirEntry> dir_;
   FlatTagMap<WideDirEntry> wdir_;
   TrafficStats stats_;
 };
+
+/// TrafficStats field-by-field serialization, shared by simulator
+/// checkpoints and the sweep journal. The static_assert in
+/// multisim.cpp pins the field count: adding a counter without
+/// updating these (and bumping kCheckpointVersion) fails the build.
+void save_traffic(ByteWriter& w, const TrafficStats& s);
+TrafficStats load_traffic(ByteReader& r);
 
 }  // namespace rapwam

@@ -162,6 +162,11 @@ class PeSet {
 
   /// Bits the current representation can hold without growing.
   unsigned capacity() const { return nwords_ * 64; }
+  /// Words currently stored (checkpoint serialization reads the raw
+  /// words; bits beyond num_words() are zero by definition).
+  unsigned num_words() const { return nwords_; }
+  /// Raw word `i`, zero beyond the stored range.
+  u64 word(unsigned i) const { return i < nwords_ ? words()[i] : 0; }
   /// True once the heap multi-word representation is engaged.
   bool wide() const { return nwords_ > 1; }
 

@@ -4,6 +4,8 @@
 #include <exception>
 #include <thread>
 
+#include "checkpoint/journal.h"
+
 namespace rapwam {
 
 namespace {
@@ -37,16 +39,25 @@ TrafficStats replay_point(const SweepPoint& p, const CancelToken* cancel) {
 
 std::vector<SweepResult> run_sweep(ThreadPool& pool,
                                    const std::vector<SweepPoint>& points,
-                                   const CancelToken* cancel) {
-  std::vector<std::future<TrafficStats>> futs;
-  futs.reserve(points.size());
-  for (const SweepPoint& p : points) {
-    futs.push_back(pool.submit([p, cancel]() { return replay_point(p, cancel); }));
+                                   const CancelToken* cancel,
+                                   SweepJournal* journal) {
+  // Journaled points come back exactly as recorded — no re-simulation,
+  // so a resumed sweep's rows are bit-identical to the first run's.
+  std::vector<std::future<TrafficStats>> futs(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (journal && journal->is_done(i)) continue;
+    const SweepPoint& p = points[i];
+    futs[i] = pool.submit([p, cancel]() { return replay_point(p, cancel); });
   }
   std::vector<SweepResult> out;
   out.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
+    if (journal && journal->is_done(i)) {
+      out.push_back(SweepResult{points[i], journal->result(i)});
+      continue;
+    }
     out.push_back(SweepResult{points[i], futs[i].get()});
+    if (journal) journal->record(i, out.back().stats);
   }
   return out;
 }
@@ -54,7 +65,8 @@ std::vector<SweepResult> run_sweep(ThreadPool& pool,
 std::vector<SweepResult> run_sweep_streaming(
     const std::vector<SweepPoint>& points,
     const std::function<void(TraceSink&)>& produce, bool busy_only,
-    std::size_t window_chunks, const CancelToken* cancel) {
+    std::size_t window_chunks, const CancelToken* cancel,
+    SweepJournal* journal) {
   std::vector<SweepResult> out;
   out.reserve(points.size());
   for (const SweepPoint& p : points) out.push_back(SweepResult{p, {}});
@@ -73,6 +85,13 @@ std::vector<SweepResult> run_sweep_streaming(
   std::vector<std::thread> consumers;
   consumers.reserve(points.size());
   for (unsigned i = 0; i < points.size(); ++i) {
+    if (journal && journal->is_done(i)) {
+      // Already recorded: return the journaled stats verbatim and
+      // detach so the window never waits for this point.
+      out[i].stats = journal->result(i);
+      stream.detach(i);
+      continue;
+    }
     consumers.emplace_back([&, i] {
       try {
         HierCacheSim sim(points[i].cfg, points[i].num_pes);
@@ -107,6 +126,14 @@ std::vector<SweepResult> run_sweep_streaming(
   if (produce_error) std::rethrow_exception(produce_error);
   for (std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
+  // Journal only after the producer and every consumer finished clean:
+  // a consumer that saw a truncated stream (producer threw) holds
+  // partial stats, and recording those as done would poison every
+  // later resume.
+  if (journal) {
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (!journal->is_done(i)) journal->record(i, out[i].stats);
+  }
   return out;
 }
 

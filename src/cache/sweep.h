@@ -21,6 +21,8 @@
 
 namespace rapwam {
 
+class SweepJournal;
+
 struct SweepPoint {
   /// cfg.l2 adds the hierarchy dimension (L2 size / ways / inclusion);
   /// points replay through HierCacheSim, which is the flat simulator
@@ -46,9 +48,17 @@ struct SweepResult {
 /// fires, remaining points stop early and run_sweep rethrows the
 /// CancelledError — the server's per-request deadline path
 /// (docs/DESIGN.md §10).
+///
+/// `journal` (optional, checkpoint/journal.h) makes the sweep
+/// resumable: points the journal already records are returned from it
+/// verbatim without re-simulation, and every newly completed point is
+/// appended to it (durably, before run_sweep returns it). The caller
+/// must have opened the journal under sweep_config_hash(points, ...)
+/// so recorded indices mean the same points.
 std::vector<SweepResult> run_sweep(ThreadPool& pool,
                                    const std::vector<SweepPoint>& points,
-                                   const CancelToken* cancel = nullptr);
+                                   const CancelToken* cancel = nullptr,
+                                   SweepJournal* journal = nullptr);
 
 /// Streaming fan-out: `produce` runs on the calling thread and emits
 /// the whole reference stream into the sink it is handed (typically by
@@ -62,11 +72,17 @@ std::vector<SweepResult> run_sweep(ThreadPool& pool,
 /// others would deadlock the producer. Results are in input order, and
 /// are bit-identical to materializing the trace and replaying it per
 /// point (pinned by tests/test_pipeline_diff.cpp).
+/// `journal` behaves as in run_sweep: already-recorded points do not
+/// consume the stream at all (they detach immediately). Fresh points
+/// are journaled together once the stream completed cleanly — in
+/// streaming mode every consumer shares one pass over the trace, so a
+/// consumer that outlived a failed producer holds partial stats, and
+/// recording before the join could poison later resumes.
 std::vector<SweepResult> run_sweep_streaming(
     const std::vector<SweepPoint>& points,
     const std::function<void(TraceSink&)>& produce, bool busy_only = true,
     std::size_t window_chunks = ChunkStream::kDefaultWindow,
-    const CancelToken* cancel = nullptr);
+    const CancelToken* cancel = nullptr, SweepJournal* journal = nullptr);
 
 /// One-point convenience used by the reports and benches: replays
 /// `trace` through a fresh simulator and returns its traffic counters.

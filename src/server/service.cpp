@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cache/sweep.h"
+#include "checkpoint/checkpoint.h"
 #include "harness/golden.h"
 
 namespace rapwam {
@@ -217,17 +218,100 @@ std::shared_ptr<const ChunkedTrace> Service::acquire_trace(
   return g->trace;
 }
 
+void Service::store_checkpoint(u64 key, std::string frame) {
+  std::scoped_lock lk(mu_);
+  if (saved_.size() >= kMaxSavedCheckpoints && !saved_.count(key)) {
+    auto oldest = saved_.begin();
+    for (auto it = saved_.begin(); it != saved_.end(); ++it)
+      if (it->second.seq < oldest->second.seq) oldest = it;
+    saved_.erase(oldest);
+  }
+  saved_[key] = SavedCheckpoint{std::move(frame), saved_seq_++};
+  ++counters_.checkpoints_written;
+}
+
+std::optional<std::string> Service::take_checkpoint(u64 key) {
+  std::scoped_lock lk(mu_);
+  auto it = saved_.find(key);
+  if (it == saved_.end()) return std::nullopt;
+  std::string frame = std::move(it->second.frame);
+  saved_.erase(it);
+  return frame;
+}
+
+template <typename Sim>
+void Service::replay_resumable(Sim& sim, const ChunkedTrace& trace, u64 start,
+                               const CancelToken& cancel, FaultInjector* faults,
+                               u64 key, bool timed) {
+  for (std::size_t i = start; i < trace.num_chunks(); ++i) {
+    try {
+      // Fault hook first: an injected stall models a slow chunk, and
+      // the deadline must notice it even on a single-chunk trace.
+      if (faults) faults->on_chunk(i);
+      cancel.checkpoint();
+    } catch (const CancelledError&) {
+      // Snapshot at the boundary of chunk i: chunks [0, i) are fully
+      // replayed, nothing of chunk i has touched the simulator, so a
+      // resume continues exactly where the deadline struck.
+      CheckpointMeta meta;
+      meta.config_hash = key;
+      meta.chunk_index = i;
+      meta.timed = timed;
+      std::string frame;
+      if constexpr (std::is_same_v<Sim, TimedReplay>) {
+        meta.refs_done = sim.traffic().refs;
+        frame = checkpoint_serialize(meta, sim);
+      } else {
+        meta.refs_done = sim.stats().refs;
+        frame = checkpoint_serialize(meta, sim);
+      }
+      // Fault sites: a "crash" drops the snapshot entirely (the write
+      // never happened), the damage hooks corrupt the stored bytes so
+      // the retry's validation path is exercised end to end.
+      bool crashed = faults && faults->crash_checkpoint(0);
+      if (!crashed) {
+        if (faults) faults->damage_checkpoint_bytes(0, frame);
+        store_checkpoint(key, std::move(frame));
+      }
+      throw;
+    }
+    const std::vector<u64>& c = trace.chunk(i);
+    sim.replay(c.data(), c.size());
+  }
+}
+
 JsonValue Service::run_replay(const Request& req, const CancelToken& cancel,
                               FaultInjector* faults) {
   if (faults) faults->on_alloc();  // alloc site 1: trace acquisition
   unsigned pes = 0;
   std::shared_ptr<const ChunkedTrace> trace = acquire_trace(req, cancel, pes);
   if (faults) faults->on_alloc();  // alloc site 2: simulator arena
-  HierCacheSim sim(req.cfg, pes);
-  replay_checked(sim, *trace, cancel, faults);
+  u64 key = replay_config_hash(req.cfg, pes, resolve_wide(DirRep::Auto, pes),
+                               trace_fingerprint(*trace));
+  std::unique_ptr<HierCacheSim> sim;
+  u64 start = 0;
+  if (std::optional<std::string> frame = take_checkpoint(key)) {
+    try {
+      RestoredReplay r =
+          checkpoint_parse(*frame, req.cfg, pes, DirRep::Auto, nullptr, key);
+      sim = std::move(r.sim);
+      start = r.meta.chunk_index;
+      std::scoped_lock lk(mu_);
+      ++counters_.resumes;
+      counters_.resume_chunks_skipped += start;
+    } catch (const Error&) {
+      // Damaged snapshot: discard it and replay from scratch — a
+      // corrupt checkpoint may cost work, never correctness.
+      std::scoped_lock lk(mu_);
+      ++counters_.corrupt_checkpoints_rejected;
+    }
+  }
+  if (!sim) sim = std::make_unique<HierCacheSim>(req.cfg, pes);
+  replay_resumable(*sim, *trace, start, cancel, faults, key, /*timed=*/false);
   if (faults) faults->on_alloc();  // alloc site 3: result assembly
-  JsonValue out = traffic_json(sim.stats());
+  JsonValue out = traffic_json(sim->stats());
   out.set("pes", JsonValue::integer(pes));
+  out.set("resumed_chunks", JsonValue::unsigned_int(start));
   return out;
 }
 
@@ -237,12 +321,31 @@ JsonValue Service::run_time(const Request& req, const CancelToken& cancel,
   unsigned pes = 0;
   std::shared_ptr<const ChunkedTrace> trace = acquire_trace(req, cancel, pes);
   if (faults) faults->on_alloc();
-  TimedReplay sim(req.cfg, pes, req.timing);
-  replay_checked(sim, *trace, cancel, faults);
+  u64 key = timed_config_hash(req.cfg, pes, resolve_wide(DirRep::Auto, pes),
+                              req.timing, trace_fingerprint(*trace));
+  std::unique_ptr<TimedReplay> sim;
+  u64 start = 0;
+  if (std::optional<std::string> frame = take_checkpoint(key)) {
+    try {
+      RestoredReplay r = checkpoint_parse(*frame, req.cfg, pes, DirRep::Auto,
+                                          &req.timing, key);
+      sim = std::move(r.timed);
+      start = r.meta.chunk_index;
+      std::scoped_lock lk(mu_);
+      ++counters_.resumes;
+      counters_.resume_chunks_skipped += start;
+    } catch (const Error&) {
+      std::scoped_lock lk(mu_);
+      ++counters_.corrupt_checkpoints_rejected;
+    }
+  }
+  if (!sim) sim = std::make_unique<TimedReplay>(req.cfg, pes, req.timing);
+  replay_resumable(*sim, *trace, start, cancel, faults, key, /*timed=*/true);
   if (faults) faults->on_alloc();
-  JsonValue out = timing_json(sim.timing());
-  out.set("traffic", traffic_json(sim.traffic()));
+  JsonValue out = timing_json(sim->timing());
+  out.set("traffic", traffic_json(sim->traffic()));
   out.set("pes", JsonValue::integer(pes));
+  out.set("resumed_chunks", JsonValue::unsigned_int(start));
   return out;
 }
 
@@ -326,6 +429,12 @@ JsonValue Service::run_stats() {
   out.set("rejected", JsonValue::unsigned_int(c.rejected));
   out.set("cancelled", JsonValue::unsigned_int(c.cancelled));
   out.set("faults_injected", JsonValue::unsigned_int(c.faults_injected));
+  out.set("checkpoints_written", JsonValue::unsigned_int(c.checkpoints_written));
+  out.set("resumes", JsonValue::unsigned_int(c.resumes));
+  out.set("resume_chunks_skipped",
+          JsonValue::unsigned_int(c.resume_chunks_skipped));
+  out.set("corrupt_checkpoints_rejected",
+          JsonValue::unsigned_int(c.corrupt_checkpoints_rejected));
   out.set("in_flight", JsonValue::integer(in_flight_.load()));
   out.set("workers", JsonValue::integer(cfg_.workers));
   out.set("queue_limit", JsonValue::integer(static_cast<i64>(cfg_.queue_limit)));

@@ -18,8 +18,10 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "harness/trace_lib.h"
@@ -46,6 +48,13 @@ struct ServiceCounters {
   u64 rejected = 0;       ///< bad_request before admission
   u64 cancelled = 0;      ///< deadline/cancel during execution
   u64 faults_injected = 0;
+  // Checkpoint/resume (docs/DESIGN.md §12): a replay/time request
+  // killed by its deadline checkpoints its progress, and the client's
+  // retry resumes from it instead of starting over.
+  u64 checkpoints_written = 0;          ///< cancelled requests snapshotted
+  u64 resumes = 0;                      ///< requests resumed from a snapshot
+  u64 resume_chunks_skipped = 0;        ///< chunks not re-replayed, total
+  u64 corrupt_checkpoints_rejected = 0; ///< snapshots discarded as damaged
 };
 
 class Service {
@@ -90,6 +99,25 @@ class Service {
                                                     const CancelToken& cancel,
                                                     unsigned& pes_out);
 
+  /// Replays chunks [start, num_chunks) with the per-chunk fault and
+  /// cancellation hooks; on cancellation, snapshots the simulator
+  /// under `key` (checkpoint_store) before rethrowing, so the
+  /// client's retry resumes instead of starting over.
+  template <typename Sim>
+  void replay_resumable(Sim& sim, const ChunkedTrace& trace, u64 start,
+                        const CancelToken& cancel, FaultInjector* faults,
+                        u64 key, bool timed);
+
+  /// Bounded in-memory store of checkpoints from cancelled requests,
+  /// keyed by the run's config hash (same config + trace = same key,
+  /// so the retry finds it). Guarded by mu_; oldest entry evicted at
+  /// the cap.
+  void store_checkpoint(u64 key, std::string frame);
+  /// Removes and returns the stored frame for `key`, if any (one
+  /// resume attempt per snapshot — a damaged frame must not be
+  /// retried forever).
+  std::optional<std::string> take_checkpoint(u64 key);
+
   ServiceConfig cfg_;
   ThreadPool pool_;
   std::atomic<bool> draining_{false};
@@ -97,6 +125,14 @@ class Service {
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
   ServiceCounters counters_;
+
+  struct SavedCheckpoint {
+    std::string frame;
+    u64 seq = 0;  ///< insertion order, for oldest-first eviction
+  };
+  static constexpr std::size_t kMaxSavedCheckpoints = 32;
+  std::map<u64, SavedCheckpoint> saved_;  ///< guarded by mu_
+  u64 saved_seq_ = 0;                     ///< guarded by mu_
 };
 
 }  // namespace rapwam

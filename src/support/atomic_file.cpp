@@ -1,0 +1,35 @@
+#include "support/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/common.h"
+
+namespace rapwam {
+
+void flush_and_sync(std::FILE* f, const std::string& what) {
+  if (std::fflush(f) != 0) fail("cannot flush " + what);
+  if (::fsync(::fileno(f)) != 0) fail("cannot fsync " + what);
+}
+
+void sync_parent_dir(const std::string& path) {
+  std::string dir = ".";
+  std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // directory fsync unsupported here; best effort
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail("cannot fsync directory " + dir);
+}
+
+void publish_file(const std::string& tmp_path, const std::string& path) {
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    fail("cannot publish " + path);
+  }
+  sync_parent_dir(path);
+}
+
+}  // namespace rapwam

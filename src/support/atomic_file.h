@@ -1,0 +1,33 @@
+// Durable atomic file publication, shared by FileTraceSink and the
+// checkpoint writer (docs/DESIGN.md §12).
+//
+// "Atomic rename" alone is not crash-safe: a rename can be durable
+// before the renamed file's *data* is, so a power cut right after
+// close() can publish an empty or partial file under the final name.
+// The full recipe is: write the temporary, fsync its data, rename it
+// over the destination, then fsync the containing directory so the
+// rename itself survives the crash. These helpers implement exactly
+// that and throw Error on any failure.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace rapwam {
+
+/// Flushes stdio buffers and fsyncs the underlying descriptor. `what`
+/// names the file in the Error message.
+void flush_and_sync(std::FILE* f, const std::string& what);
+
+/// fsyncs the directory containing `path`, making a completed rename
+/// in it durable. Failures to *open* the directory are ignored (some
+/// filesystems refuse O_RDONLY on directories); an fsync error on an
+/// opened directory throws.
+void sync_parent_dir(const std::string& path);
+
+/// Renames tmp_path -> path and fsyncs the parent directory. The
+/// temporary is removed on failure. Callers must have already synced
+/// the temporary's data (flush_and_sync) for full durability.
+void publish_file(const std::string& tmp_path, const std::string& path);
+
+}  // namespace rapwam

@@ -149,6 +149,82 @@ TimingStats TimedReplay::timing() const {
   return out;
 }
 
+void TimedReplay::save_state(ByteWriter& w) const {
+  sim_.save_state(w);
+  w.put_u64(pes_.size());
+  for (const PeState& p : pes_) {
+    w.put_u64(p.clock);
+    w.put_u64(p.wbuf.size());
+    for (u64 done : p.wbuf) w.put_u64(done);
+  }
+  for (const PeTiming& t : ts_.pe) {
+    w.put_u64(t.refs);
+    w.put_u64(t.busy_cycles);
+    w.put_u64(t.stall_cycles);
+    w.put_u64(t.clock);
+  }
+  w.put_u64(ts_.makespan);
+  w.put_u64(ts_.bus_busy_cycles);
+  w.put_u64(ts_.bus_transactions);
+  w.put_u64(ts_.cache_fills);
+  w.put_u64(ts_.l2_fills);
+  w.put_u64(ts_.mem_fills);
+  w.put_u64(busy_.size());
+  for (const auto& [start, end] : busy_) {
+    w.put_u64(start);
+    w.put_u64(end);
+  }
+  w.put_u64(reservations_since_prune_);
+}
+
+void TimedReplay::restore_state(ByteReader& r) {
+  sim_.restore_state(r);
+  u64 npes = r.get_u64();
+  if (npes != pes_.size())
+    fail("checkpoint timing: snapshot has " + std::to_string(npes) +
+         " PEs, replay has " + std::to_string(pes_.size()));
+  for (PeState& p : pes_) {
+    p.clock = r.get_u64();
+    u64 nw = r.get_u64();
+    if (tp_.write_buffer_depth == 0 ? nw != 0 : nw > tp_.write_buffer_depth)
+      fail("checkpoint timing: posted-write count exceeds the buffer depth");
+    p.wbuf.clear();
+    for (u64 k = 0; k < nw; ++k) {
+      u64 done = r.get_u64();
+      if (!p.wbuf.empty() && done < p.wbuf.back())
+        fail("checkpoint timing: posted-write completions out of order");
+      p.wbuf.push_back(done);
+    }
+  }
+  for (PeTiming& t : ts_.pe) {
+    t.refs = r.get_u64();
+    t.busy_cycles = r.get_u64();
+    t.stall_cycles = r.get_u64();
+    t.clock = r.get_u64();
+  }
+  ts_.makespan = r.get_u64();
+  ts_.bus_busy_cycles = r.get_u64();
+  ts_.bus_transactions = r.get_u64();
+  ts_.cache_fills = r.get_u64();
+  ts_.l2_fills = r.get_u64();
+  ts_.mem_fills = r.get_u64();
+  u64 nint = r.get_u64();
+  busy_.clear();
+  u64 prev_end = 0;
+  for (u64 k = 0; k < nint; ++k) {
+    u64 start = r.get_u64();
+    u64 end = r.get_u64();
+    // bus_reserve depends on the timeline being strictly ordered,
+    // disjoint and coalesced; anything else would silently skew every
+    // later grant, so it is rejected here.
+    if (start >= end || (k > 0 && start <= prev_end))
+      fail("checkpoint timing: bus timeline intervals not ordered/disjoint");
+    busy_.emplace_hint(busy_.end(), start, end);
+    prev_end = end;
+  }
+  reservations_since_prune_ = r.get_u64();
+}
+
 unsigned saturation_pe_count(
     const std::vector<std::pair<unsigned, TimingStats>>& runs, double threshold) {
   unsigned best = 0;

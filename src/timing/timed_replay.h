@@ -155,6 +155,20 @@ class TimedReplay {
   /// posted writes still draining. Callable repeatedly.
   TimingStats timing() const;
 
+  /// Checkpoint serialization (docs/DESIGN.md §12): the coherence
+  /// engine's state plus the complete timing state — per-PE clocks and
+  /// posted-write completion times, accumulated per-PE timing
+  /// counters, the coalesced bus timeline, and the prune counter (it
+  /// decides *when* the timeline is compacted; compaction is
+  /// behaviour-neutral, but capturing the counter keeps the restored
+  /// run's internal trajectory byte-for-byte identical, not just its
+  /// results). Restore into a freshly constructed TimedReplay of the
+  /// same configuration and parameters; throws Error on malformed
+  /// input (unordered/overlapping timeline intervals, non-monotonic
+  /// write-buffer entries, count mismatches).
+  void save_state(ByteWriter& w) const;
+  void restore_state(ByteReader& r);
+
  private:
   struct PeState {
     u64 clock = 0;

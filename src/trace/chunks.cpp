@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/atomic_file.h"
+
 namespace rapwam {
 
 // --- ChunkedTrace ---------------------------------------------------------
@@ -178,6 +180,18 @@ void FileTraceSink::on_chunk(const u64* packed, std::size_t n) {
 
 void FileTraceSink::close() {
   if (!f_) return;
+  // Durable publish (support/atomic_file.h): sync the temporary's data
+  // before the rename and the directory after it, so a crash right
+  // after close() cannot leave an empty or partial recording under the
+  // final name — the rename may be durable before the data otherwise.
+  try {
+    flush_and_sync(f_, "trace file " + tmp_path_);
+  } catch (...) {
+    std::fclose(f_);
+    f_ = nullptr;
+    std::remove(tmp_path_.c_str());
+    throw;
+  }
   int rc = std::fclose(f_);
   f_ = nullptr;
   if (rc != 0) {
@@ -186,10 +200,7 @@ void FileTraceSink::close() {
   }
   // Publish atomically: rename within the same directory, so readers
   // see either no file or the complete recording, never a prefix.
-  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
-    std::remove(tmp_path_.c_str());
-    fail("cannot publish trace file: " + path_);
-  }
+  publish_file(tmp_path_, path_);
 }
 
 }  // namespace rapwam

@@ -303,5 +303,156 @@ TEST(ServerFaults, FaultPlansRejectedWhenInjectionDisabled) {
   server.stop();
 }
 
+// --- checkpoint/resume of cancelled requests (docs/DESIGN.md §12) ----------
+//
+// A replay killed by its deadline snapshots the simulator at the chunk
+// boundary where the deadline struck; the client's retry finds the
+// snapshot (same config + trace = same key), resumes from it, and
+// produces stats bit-identical to an uninterrupted run. A corrupted
+// snapshot is rejected by validation and the retry replays from
+// scratch — slower, never wrong.
+
+/// Paper-scale qsort: a 7-chunk trace, so a deadline can strike a real
+/// interior boundary and a resume can skip completed chunks.
+const char* kPaperReplay =
+    R"({"op":"replay","bench":"qsort","scale":"paper","pes":4,"id":"pck"})";
+
+/// Exactness oracle at paper scale (the in-process server shares the
+/// memoized TraceLibrary, so this recomputes nothing after prewarm).
+void expect_paper_exact(const Response& r) {
+  ASSERT_TRUE(r.ok) << r.code << ": " << r.message;
+  std::shared_ptr<const GeneratedTrace> g =
+      TraceLibrary::instance().get("qsort", BenchScale::Paper, 4);
+  TrafficStats want =
+      replay_traffic(paper_cache_config(Protocol::WriteInBroadcast, 1024), 4,
+                     *g->trace);
+  for (const auto& [name, value] : traffic_fields(want)) {
+    const JsonValue* got = r.result.find(name);
+    ASSERT_NE(got, nullptr) << "missing field " << name;
+    EXPECT_EQ(static_cast<u64>(got->as_int()), value) << "field " << name;
+  }
+}
+
+u64 stat_of(TestServer& ts, const std::string& name) {
+  Response st = ts.ask(R"({"op":"stats"})");
+  EXPECT_TRUE(st.ok) << st.message;
+  const JsonValue* v = st.result.find(name);
+  EXPECT_NE(v, nullptr) << name;
+  return v ? static_cast<u64>(v->as_int()) : 0;
+}
+
+TEST(ServerCheckpoint, DeadlineCheckpointsAndRetryResumesBitIdentical) {
+  TestServer ts("ckresume");
+  Response warm = ts.ask(kPaperReplay, 120000);  // generate + memoize
+  expect_paper_exact(warm);
+  ASSERT_NE(warm.result.find("resumed_chunks"), nullptr);
+  EXPECT_EQ(warm.result.find("resumed_chunks")->as_int(), 0);
+
+  // Stall every chunk against a deadline until a retry actually skips
+  // work. The stall/deadline ratio makes several chunks complete
+  // before cancellation, so one round is the overwhelmingly likely
+  // outcome; the loop only absorbs scheduler noise on a loaded
+  // machine. Every retry, resumed or not, must be exact.
+  i64 resumed_chunks = 0;
+  for (int round = 0; round < 10 && resumed_chunks == 0; ++round) {
+    Response dead = ts.ask(
+        R"({"op":"replay","bench":"qsort","scale":"paper","pes":4,"deadline_ms":150,"fault":{"stall_ms":35}})");
+    EXPECT_FALSE(dead.ok);
+    EXPECT_EQ(dead.code, "deadline_exceeded");
+    Response retry = ts.ask(kPaperReplay, 120000);
+    expect_paper_exact(retry);
+    resumed_chunks = retry.result.find("resumed_chunks")->as_int();
+  }
+  EXPECT_GT(resumed_chunks, 0) << "no retry ever resumed past a chunk";
+  EXPECT_GE(stat_of(ts, "checkpoints_written"), 1u);
+  EXPECT_GE(stat_of(ts, "resumes"), 1u);
+  EXPECT_GE(stat_of(ts, "resume_chunks_skipped"),
+            static_cast<u64>(resumed_chunks));
+  EXPECT_EQ(stat_of(ts, "corrupt_checkpoints_rejected"), 0u);
+}
+
+TEST(ServerCheckpoint, TimedRequestsCheckpointAndResumeToo) {
+  TestServer ts("cktimed");
+  Response warm = ts.ask(
+      R"({"op":"time","bench":"qsort","scale":"paper","pes":4,"id":"tw"})",
+      120000);
+  ASSERT_TRUE(warm.ok) << warm.message;
+
+  Response dead = ts.ask(
+      R"({"op":"time","bench":"qsort","scale":"paper","pes":4,"deadline_ms":150,"fault":{"stall_ms":35}})");
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.code, "deadline_exceeded");
+
+  Response retry = ts.ask(
+      R"({"op":"time","bench":"qsort","scale":"paper","pes":4,"id":"tr"})",
+      120000);
+  ASSERT_TRUE(retry.ok) << retry.message;
+  // Resumed or clean, the timed result is bit-identical to the
+  // uninterrupted run — every timing field, not just traffic.
+  for (const auto& [name, value] : timing_fields(TimingStats{})) {
+    (void)value;
+    const JsonValue *a = warm.result.find(name), *b = retry.result.find(name);
+    ASSERT_NE(a, nullptr) << name;
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_EQ(a->as_int(), b->as_int()) << "timing field " << name;
+  }
+  EXPECT_GE(stat_of(ts, "checkpoints_written"), 1u);
+  EXPECT_GE(stat_of(ts, "resumes") + stat_of(ts, "corrupt_checkpoints_rejected"),
+            1u);
+}
+
+TEST(ServerCheckpoint, CorruptSnapshotRejectedRetryReplaysFromScratch) {
+  TestServer ts("ckflip");
+  expect_paper_exact(ts.ask(kPaperReplay, 120000));  // prewarm
+
+  // The snapshot is bit-flipped as it is stored; the retry must reject
+  // it by checksum and fall back to a clean replay — exact, unresumed.
+  Response dead = ts.ask(
+      R"({"op":"replay","bench":"qsort","scale":"paper","pes":4,"deadline_ms":150,"fault":{"stall_ms":35,"flip_checkpoint":1}})");
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.code, "deadline_exceeded");
+  ASSERT_GE(stat_of(ts, "checkpoints_written"), 1u);
+
+  Response retry = ts.ask(kPaperReplay, 120000);
+  expect_paper_exact(retry);
+  EXPECT_EQ(retry.result.find("resumed_chunks")->as_int(), 0);
+  EXPECT_GE(stat_of(ts, "corrupt_checkpoints_rejected"), 1u);
+  EXPECT_EQ(stat_of(ts, "resumes"), 0u);
+}
+
+TEST(ServerCheckpoint, TruncatedSnapshotRejectedRetryReplaysFromScratch) {
+  TestServer ts("cktrunc");
+  expect_paper_exact(ts.ask(kPaperReplay, 120000));
+
+  Response dead = ts.ask(
+      R"({"op":"replay","bench":"qsort","scale":"paper","pes":4,"deadline_ms":150,"fault":{"stall_ms":35,"truncate_checkpoint":1}})");
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.code, "deadline_exceeded");
+
+  Response retry = ts.ask(kPaperReplay, 120000);
+  expect_paper_exact(retry);
+  EXPECT_EQ(retry.result.find("resumed_chunks")->as_int(), 0);
+  EXPECT_GE(stat_of(ts, "corrupt_checkpoints_rejected"), 1u);
+}
+
+TEST(ServerCheckpoint, CheckpointWriteCrashMeansCleanRetry) {
+  TestServer ts("ckcrash");
+  expect_paper_exact(ts.ask(kPaperReplay, 120000));
+
+  // The snapshot write itself "crashes": nothing is stored, the retry
+  // finds nothing and replays from scratch — still exact.
+  Response dead = ts.ask(
+      R"({"op":"replay","bench":"qsort","scale":"paper","pes":4,"deadline_ms":150,"fault":{"stall_ms":35,"fail_checkpoint":1}})");
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.code, "deadline_exceeded");
+  EXPECT_EQ(stat_of(ts, "checkpoints_written"), 0u);
+
+  Response retry = ts.ask(kPaperReplay, 120000);
+  expect_paper_exact(retry);
+  EXPECT_EQ(retry.result.find("resumed_chunks")->as_int(), 0);
+  EXPECT_EQ(stat_of(ts, "resumes"), 0u);
+  EXPECT_EQ(stat_of(ts, "corrupt_checkpoints_rejected"), 0u);
+}
+
 }  // namespace
 }  // namespace rapwam

@@ -5,9 +5,13 @@
 //   rapwam_trace stats  qsort4.trc [--pes 4]
 //   rapwam_trace replay qsort4.trc --protocol broadcast --size 1024 [--pes 4]
 //                       [--l2 4096] [--l2-ways 8] [--l2-noninclusive]
+//                       [--checkpoint PATH [--checkpoint-every N] [--resume]]
 //   rapwam_trace time   qsort4.trc [--service 1] [--interleave 2] [--wbuf 4]
 //                       [--cpr 1] [--protocol broadcast] [--size 1024] [--pes 4]
 //                       [--l2 4096] [--l2-hit 2] [--mem-extra 10]
+//                       [--checkpoint PATH [--checkpoint-every N] [--resume]]
+//   rapwam_trace sweep  qsort4.trc [--protocols wt,broadcast,...] [--sizes 512,1024]
+//                       [--pes 4] [--threads 4] [--journal PATH]
 //   rapwam_trace dump   qsort4.trc [--head 20]
 //   rapwam_trace golden [--update] [--dir PATH] [--bench NAME]
 //   rapwam_trace serve  --socket unix:/tmp/rapwam.sock [--workers 4]
@@ -22,17 +26,34 @@
 // bus and memory. `golden` verifies the committed golden-stats corpus
 // (tests/golden/) against a live recomputation, or regenerates it with
 // --update after an intentional change.
+//
+// --checkpoint makes replay/time crash-safe (docs/DESIGN.md §12):
+// every N chunks the complete simulator state is published atomically
+// to PATH (the previous snapshot rotates to PATH.prev), and --resume
+// continues from the newest valid snapshot — with stats bit-identical
+// to the uninterrupted run. `sweep --journal` is the sweep-level
+// counterpart: completed points land in an append-only journal and a
+// rerun skips them. All checkpoint progress lines start with
+// "checkpoint"/"journal" so scripted runs can filter them out before
+// diffing against an uninterrupted run's output. --enable-faults with
+// --fault '<json>' drives the same injection matrix as the server
+// (server/faults.h), including the checkpoint crash/corruption sites.
 // Traces are the 8-byte packed records of src/trace/memref.h.
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 #include <string>
 
 #include "cache/hierarchy.h"
 #include "cache/queueing.h"
+#include "cache/sweep.h"
+#include "checkpoint/checkpoint.h"
+#include "checkpoint/journal.h"
 #include "harness/golden.h"
 #include "harness/runner.h"
 #include "server/client.h"
+#include "server/faults.h"
 #include "server/server.h"
 #include "trace/chunks.h"
 #include "support/cli.h"
@@ -84,6 +105,76 @@ void print_l2_stats(const CacheConfig& cfg, const TrafficStats& s) {
     std::printf("    back-invalidations %llu  (%llu dirty-flush words)\n",
                 (unsigned long long)s.l2_back_invalidations,
                 (unsigned long long)s.l2_back_inval_flush_words);
+}
+
+/// Fault plan from --enable-faults + --fault '<json>' (the server's
+/// plan format, including the checkpoint crash/corruption sites).
+std::unique_ptr<FaultInjector> faults_from_cli(const Cli& cli) {
+  if (!cli.has("fault")) return nullptr;
+  if (!cli.has("enable-faults"))
+    fail("fault injection is disabled (pass --enable-faults)");
+  return std::make_unique<FaultInjector>(
+      FaultPlan::from_json(json_parse(cli.get("fault", "{}"))));
+}
+
+/// Replays chunks [start, n) through `sim`, publishing a checkpoint
+/// frame every `every` chunk boundaries (none after the final chunk —
+/// the run is done). Progress lines all start with "checkpoint".
+template <typename Sim>
+void replay_checkpointed(Sim& sim, const ChunkedTrace& t, u64 start, u64 key,
+                         bool timed, CheckpointWriter* writer, u64 every,
+                         FaultInjector* faults) {
+  for (std::size_t i = start; i < t.num_chunks(); ++i) {
+    if (faults) faults->on_chunk(i);
+    const std::vector<u64>& c = t.chunk(i);
+    sim.replay(c.data(), c.size());
+    if (writer && every && (i + 1) % every == 0 && i + 1 < t.num_chunks()) {
+      CheckpointMeta meta;
+      meta.config_hash = key;
+      meta.chunk_index = i + 1;
+      meta.timed = timed;
+      if constexpr (std::is_same_v<Sim, TimedReplay>)
+        meta.refs_done = sim.traffic().refs;
+      else
+        meta.refs_done = sim.stats().refs;
+      writer->publish(checkpoint_serialize(meta, sim), faults);
+      std::printf("checkpoint: wrote %s at chunk %llu/%llu\n",
+                  writer->path().c_str(), (unsigned long long)(i + 1),
+                  (unsigned long long)t.num_chunks());
+      std::fflush(stdout);
+    }
+  }
+}
+
+/// Resume preamble shared by replay/time: returns the restored
+/// simulator (or null for a clean start) and the chunk to start from.
+std::optional<RestoredReplay> try_resume(const Cli& cli,
+                                         const std::string& ckpt_path,
+                                         const CacheConfig& cfg, unsigned pes,
+                                         const TimingParams* tp, u64 key,
+                                         std::size_t num_chunks) {
+  if (ckpt_path.empty() || !cli.has("resume")) return std::nullopt;
+  try {
+    std::optional<ResumeOutcome> res =
+        checkpoint_resume(ckpt_path, cfg, pes, DirRep::Auto, tp, key);
+    if (!res) {
+      std::printf("checkpoint: none found at %s; starting clean\n",
+                  ckpt_path.c_str());
+      return std::nullopt;
+    }
+    for (const std::string& e : res->errors)
+      std::printf("checkpoint: rejected %s\n", e.c_str());
+    std::printf("checkpoint: resumed from %s at chunk %llu/%llu\n",
+                res->source.c_str(),
+                (unsigned long long)res->restored.meta.chunk_index,
+                (unsigned long long)num_chunks);
+    return std::move(res->restored);
+  } catch (const Error& e) {
+    // Every candidate was damaged: a corrupt checkpoint costs work,
+    // never correctness — fall back to a clean run.
+    std::printf("checkpoint: %s; starting clean\n", e.what());
+    return std::nullopt;
+  }
 }
 
 int cmd_record(const Cli& cli) {
@@ -139,9 +230,26 @@ int cmd_replay(const Cli& cli) {
   CacheConfig cfg = config_from_cli(cli);
   unsigned pes =
       check_pes(static_cast<unsigned>(cli.get_int("pes", t->num_pes())));
-  HierCacheSim sim(cfg, pes);
-  sim.replay(*t);
-  const TrafficStats& s = sim.stats();
+  std::unique_ptr<FaultInjector> faults = faults_from_cli(cli);
+  std::string ckpt = cli.get("checkpoint", "");
+  u64 every = static_cast<u64>(cli.get_int("checkpoint-every", 16));
+  u64 key = replay_config_hash(cfg, pes, resolve_wide(DirRep::Auto, pes),
+                               trace_fingerprint(*t));
+
+  std::unique_ptr<HierCacheSim> sim;
+  u64 start = 0;
+  if (std::optional<RestoredReplay> r =
+          try_resume(cli, ckpt, cfg, pes, nullptr, key, t->num_chunks())) {
+    sim = std::move(r->sim);
+    start = r->meta.chunk_index;
+  } else {
+    sim = std::make_unique<HierCacheSim>(cfg, pes);
+  }
+  std::optional<CheckpointWriter> writer;
+  if (!ckpt.empty()) writer.emplace(ckpt);
+  replay_checkpointed(*sim, *t, start, key, /*timed=*/false,
+                      writer ? &*writer : nullptr, every, faults.get());
+  const TrafficStats& s = sim->stats();
   std::printf("%s, %u words, %u-word lines, %s, %u PEs\n",
               protocol_name(cfg.protocol).c_str(), cfg.size_words, cfg.line_words,
               cfg.write_allocate ? "write-allocate" : "no-write-allocate", pes);
@@ -174,8 +282,26 @@ int cmd_time(const Cli& cli) {
   tp.write_buffer_depth = static_cast<u32>(cli.get_int("wbuf", 4));
   tp.mem_extra_cycles = static_cast<u32>(cli.get_int("mem-extra", 0));
 
-  TimedReplay sim(cfg, pes, tp);
-  sim.replay(*t);
+  std::unique_ptr<FaultInjector> faults = faults_from_cli(cli);
+  std::string ckpt = cli.get("checkpoint", "");
+  u64 every = static_cast<u64>(cli.get_int("checkpoint-every", 16));
+  u64 key = timed_config_hash(cfg, pes, resolve_wide(DirRep::Auto, pes), tp,
+                              trace_fingerprint(*t));
+
+  std::unique_ptr<TimedReplay> simp;
+  u64 start = 0;
+  if (std::optional<RestoredReplay> r =
+          try_resume(cli, ckpt, cfg, pes, &tp, key, t->num_chunks())) {
+    simp = std::move(r->timed);
+    start = r->meta.chunk_index;
+  } else {
+    simp = std::make_unique<TimedReplay>(cfg, pes, tp);
+  }
+  std::optional<CheckpointWriter> writer;
+  if (!ckpt.empty()) writer.emplace(ckpt);
+  replay_checkpointed(*simp, *t, start, key, /*timed=*/true,
+                      writer ? &*writer : nullptr, every, faults.get());
+  TimedReplay& sim = *simp;
   TimingStats ts = sim.timing();
 
   std::printf("%s, %u words, %u-word lines, %u PEs; bus %u cycle(s)/word, "
@@ -214,6 +340,79 @@ int cmd_time(const Cli& cli) {
   std::printf("analytic M/D/1 at the same traffic ratio: speedup x%.2f, "
               "efficiency %.3f, utilization %.3f\n",
               e.aggregate_speedup, e.pe_efficiency, e.utilization);
+  return 0;
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+int cmd_sweep(const Cli& cli) {
+  std::shared_ptr<const ChunkedTrace> t =
+      load_chunked_trace(cli.positional().at(1), /*busy_only=*/true);
+  unsigned pes =
+      check_pes(static_cast<unsigned>(cli.get_int("pes", t->num_pes())));
+  u32 line = static_cast<u32>(cli.get_int("line", 4));
+
+  std::vector<SweepPoint> points;
+  for (const std::string& pname :
+       split_list(cli.get("protocols", "wt,broadcast,update,hybrid"))) {
+    Protocol p = protocol_from_name(pname);
+    for (const std::string& sz : split_list(cli.get("sizes", "256,512,1024,2048"))) {
+      u32 size = static_cast<u32>(std::stoul(sz));
+      if (size % line)
+        fail("sweep size " + sz + " is not a multiple of the line size");
+      SweepPoint pt;
+      pt.cfg = paper_cache_config(p, size);
+      pt.cfg.line_words = line;
+      pt.num_pes = pes;
+      pt.chunks = t.get();
+      pt.label = static_cast<int>(points.size());
+      points.push_back(pt);
+    }
+  }
+
+  // The journal is keyed to the exact point list and trace, so resuming
+  // with different flags is rejected instead of mixing results.
+  std::optional<SweepJournal> journal;
+  if (cli.has("journal")) {
+    journal.emplace(cli.get("journal", "sweep.journal"),
+                    sweep_config_hash(points, trace_fingerprint(*t)));
+    std::printf("journal: %s holds %zu of %zu points%s\n",
+                journal->path().c_str(), journal->done_count(), points.size(),
+                journal->torn_records_dropped()
+                    ? (" (" + std::to_string(journal->torn_records_dropped()) +
+                       " torn record(s) dropped)")
+                          .c_str()
+                    : "");
+  }
+
+  ThreadPool pool(static_cast<unsigned>(cli.get_int("threads", 4)));
+  std::vector<SweepResult> results =
+      run_sweep(pool, points, nullptr, journal ? &*journal : nullptr);
+
+  TextTable table("sweep (" + std::to_string(pes) + " PEs)");
+  table.header({"protocol", "size", "traffic ratio", "miss ratio", "bus words"});
+  for (const SweepResult& r : results) {
+    char tr[32], mr[32];
+    std::snprintf(tr, sizeof tr, "%.4f", r.stats.traffic_ratio());
+    std::snprintf(mr, sizeof mr, "%.4f", r.stats.miss_ratio());
+    table.row({protocol_name(r.point.cfg.protocol),
+               std::to_string(r.point.cfg.size_words), tr, mr,
+               std::to_string(r.stats.bus_words)});
+  }
+  std::fputs(table.str().c_str(), stdout);
   return 0;
 }
 
@@ -285,11 +484,17 @@ int cmd_serve(const Cli& cli) {
   // test greps for.
   ServiceCounters c = server.service().counters();
   std::printf("drained: received %llu, completed %llu, failed %llu, "
-              "shed %llu, rejected %llu, cancelled %llu, faults %llu\n",
+              "shed %llu, rejected %llu, cancelled %llu, faults %llu, "
+              "checkpoints %llu, resumes %llu, chunks skipped %llu, "
+              "corrupt checkpoints rejected %llu\n",
               (unsigned long long)c.received, (unsigned long long)c.completed,
               (unsigned long long)c.failed, (unsigned long long)c.shed,
               (unsigned long long)c.rejected, (unsigned long long)c.cancelled,
-              (unsigned long long)c.faults_injected);
+              (unsigned long long)c.faults_injected,
+              (unsigned long long)c.checkpoints_written,
+              (unsigned long long)c.resumes,
+              (unsigned long long)c.resume_chunks_skipped,
+              (unsigned long long)c.corrupt_checkpoints_rejected);
   g_server = nullptr;
   return 0;
 }
@@ -334,8 +539,8 @@ int main(int argc, char** argv) {
   try {
     if (cli.positional().empty()) {
       std::puts(
-          "usage: rapwam_trace record|stats|replay|time|dump|golden|serve|"
-          "request ... (see source header)");
+          "usage: rapwam_trace record|stats|replay|time|sweep|dump|golden|"
+          "serve|request ... (see source header)");
       return 2;
     }
     const std::string& cmd = cli.positional()[0];
@@ -343,6 +548,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(cli);
     if (cmd == "replay") return cmd_replay(cli);
     if (cmd == "time") return cmd_time(cli);
+    if (cmd == "sweep") return cmd_sweep(cli);
     if (cmd == "dump") return cmd_dump(cli);
     if (cmd == "golden") return cmd_golden(cli);
     if (cmd == "serve") return cmd_serve(cli);
