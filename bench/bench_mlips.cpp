@@ -12,10 +12,20 @@
 // a bare invocation or with --json-out=PATH, suppressed by --no-json.
 //
 //   --scale small|paper   workload size (default paper)
+//   --profile-ops         dump the dynamic (op, next-op) pair ranking
+//                         over the four paper benchmarks (the profile
+//                         the fused opcode set is derived from,
+//                         docs/DESIGN.md §13) and exit
+//   --fuse-smoke          run the four paper benchmarks at 1 PE with
+//                         fusion on and off, print the golden stats for
+//                         both, and exit non-zero if any differ (CI)
 #include <chrono>
 #include <cstdio>
+#include <map>
 
+#include "compiler/instr.h"
 #include "harness/reports.h"
+#include "harness/runner.h"
 #include "trace/chunks.h"
 
 #include "support/cli.h"
@@ -30,6 +40,56 @@ struct EngineRates {
   double sim_instr_per_sec = 0;
   double gen_refs_per_sec = 0;
 };
+
+/// One timed 1-PE measurement window of a benchmark with fusion forced
+/// on or off, no trace sink attached: the raw interpreter dispatch
+/// rate, which is what superinstruction fusion targets (docs/DESIGN.md
+/// §13). The window repeats the solve until >=100ms of solve time has
+/// accumulated — a single Paper-scale solve is a few ms, far too short
+/// to time on its own.
+double one_pe_window(Program& prog, const std::string& goal, bool fuse) {
+  MachineConfig cfg;
+  cfg.num_pes = 1;
+  cfg.sizes = bench_area_sizes();
+  cfg.fuse = fuse;
+  Machine m(prog, cfg);
+  u64 instr = 0;
+  double dt = 0;
+  while (dt < 0.1) {
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult r = m.solve(goal);
+    dt += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    instr += r.stats.instructions;
+  }
+  return static_cast<double>(instr) / dt;
+}
+
+/// Fused-vs-unfused dispatch rate on the 1-PE hot loop, measured on
+/// qsort — the same benchmark the 8-PE sim_instr_per_sec figure uses.
+/// Trials interleave the two sides (off, on, off, on, ...) so load
+/// drift on the host hits both equally; best-of-N per side.
+struct FusionRates {
+  double fused_instr_per_sec = 0;
+  double unfused_instr_per_sec = 0;
+  int best_of = 0;
+};
+
+FusionRates fusion_rates(BenchScale scale, int trials) {
+  BenchProgram bp = bench_program("qsort", scale);
+  Program prog;
+  prog.consult(bp.source);
+  const std::string goal = bp.goal + ".";
+  FusionRates out;
+  out.best_of = trials;
+  for (int t = 0; t < trials; ++t) {
+    out.unfused_instr_per_sec =
+        std::max(out.unfused_instr_per_sec, one_pe_window(prog, goal, false));
+    out.fused_instr_per_sec =
+        std::max(out.fused_instr_per_sec, one_pe_window(prog, goal, true));
+  }
+  return out;
+}
 
 EngineRates engine_rates(BenchScale scale) {
   BenchProgram bp = bench_program("qsort", scale);
@@ -52,7 +112,7 @@ EngineRates engine_rates(BenchScale scale) {
 }
 
 void emit_json(const std::string& path, const ReportOptions& opt,
-               const MlipsNumbers& m) {
+               const MlipsNumbers& m, const FusionRates& fr) {
   EngineRates er = engine_rates(opt.scale);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -71,11 +131,104 @@ void emit_json(const std::string& path, const ReportOptions& opt,
   std::fprintf(f, "  \"traffic_ratio_8pe_1024w\": %.4f,\n", m.traffic_ratio);
   std::fprintf(f, "  \"bus_mb_per_sec\": %.1f,\n", m.bus_mb_per_sec);
   std::fprintf(f, "  \"sim_instr_per_sec\": %.0f,\n", er.sim_instr_per_sec);
-  std::fprintf(f, "  \"gen_refs_per_sec\": %.0f\n}\n", er.gen_refs_per_sec);
+  std::fprintf(f, "  \"gen_refs_per_sec\": %.0f,\n", er.gen_refs_per_sec);
+  std::fprintf(f, "  \"fused_dispatch\": true,\n");
+  std::fprintf(f, "  \"fusion_bench\": \"qsort, 1 PE, no sink, best of %d\",\n",
+               fr.best_of);
+  std::fprintf(f, "  \"sim_instr_per_sec_1pe_unfused\": %.0f,\n",
+               fr.unfused_instr_per_sec);
+  std::fprintf(f, "  \"sim_instr_per_sec_1pe_fused\": %.0f,\n",
+               fr.fused_instr_per_sec);
+  std::fprintf(f, "  \"fusion_speedup_1pe\": %.3f\n}\n",
+               fr.fused_instr_per_sec / fr.unfused_instr_per_sec);
   std::fclose(f);
   std::printf("host engine: %.2f M simulated instr/s, %.2f M refs/s generated\n",
               er.sim_instr_per_sec / 1e6, er.gen_refs_per_sec / 1e6);
+  std::printf("1-PE hot loop: %.2f M instr/s unfused, %.2f M instr/s fused "
+              "(%.3fx, best of %d)\n",
+              fr.unfused_instr_per_sec / 1e6, fr.fused_instr_per_sec / 1e6,
+              fr.fused_instr_per_sec / fr.unfused_instr_per_sec, fr.best_of);
   std::printf("wrote %s\n", path.c_str());
+}
+
+/// Runs the four paper benchmarks at 1 PE with the pair profiler on
+/// (fusion off, so the ranking is over the raw opcode stream) and
+/// prints the merged ranking. This is how the Fuse* opcode set in
+/// compiler/instr.h was derived; re-run it when benchmarks change.
+void profile_ops(BenchScale scale) {
+  std::map<std::pair<Op, Op>, u64> merged;
+  u64 total_pairs = 0, total_instr = 0;
+  for (const char* name : {"qsort", "deriv", "matrix", "tak"}) {
+    BenchProgram bp = bench_program(name, scale);
+    Program prog;
+    prog.consult(bp.source);
+    MachineConfig cfg;
+    cfg.num_pes = 1;
+    cfg.sizes = bench_area_sizes();
+    cfg.fuse = false;
+    cfg.profile_ops = true;
+    Machine m(prog, cfg);
+    RunResult r = m.solve(bp.goal + ".");
+    total_instr += r.stats.instructions;
+    for (const Machine::OpPair& p : m.op_pair_profile()) {
+      merged[{p.first, p.second}] += p.count;
+      total_pairs += p.count;
+    }
+  }
+  std::vector<std::pair<std::pair<Op, Op>, u64>> rank(merged.begin(), merged.end());
+  std::sort(rank.begin(), rank.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::printf("dynamic contiguous (op, next-op) pairs over qsort+deriv+matrix+tak"
+              " (1 PE, %llu instr, %llu pairs):\n",
+              static_cast<unsigned long long>(total_instr),
+              static_cast<unsigned long long>(total_pairs));
+  std::printf("%-24s %-24s %12s %7s\n", "op", "next-op", "count", "share");
+  for (std::size_t i = 0; i < rank.size() && i < 40; ++i) {
+    std::printf("%-24s %-24s %12llu %6.2f%%\n", op_name(rank[i].first.first),
+                op_name(rank[i].first.second),
+                static_cast<unsigned long long>(rank[i].second),
+                100.0 * static_cast<double>(rank[i].second) /
+                    static_cast<double>(total_pairs));
+  }
+}
+
+/// CI smoke: run every paper benchmark at 1 PE with fusion on and off
+/// and print the golden stats for both sides. Any divergence —
+/// instructions, cycles, reference counts, solutions, output — is a
+/// fusion bug; returns non-zero so CI fails the step.
+int fuse_smoke(BenchScale scale) {
+  int bad = 0;
+  for (const char* name : {"qsort", "deriv", "matrix", "tak"}) {
+    BenchProgram bp = bench_program(name, scale);
+    Program prog;
+    prog.consult(bp.source);
+    RunResult r[2];
+    for (int fuse = 0; fuse < 2; ++fuse) {
+      MachineConfig cfg;
+      cfg.num_pes = 1;
+      cfg.sizes = bench_area_sizes();
+      cfg.fuse = fuse != 0;
+      Machine m(prog, cfg);
+      r[fuse] = m.solve(bp.goal + ".");
+    }
+    for (int fuse = 0; fuse < 2; ++fuse)
+      std::printf("%-8s %-8s instr=%llu cycles=%llu reads=%llu writes=%llu "
+                  "solutions=%zu\n",
+                  name, fuse ? "fused" : "unfused",
+                  static_cast<unsigned long long>(r[fuse].stats.instructions),
+                  static_cast<unsigned long long>(r[fuse].stats.cycles),
+                  static_cast<unsigned long long>(r[fuse].stats.refs.reads),
+                  static_cast<unsigned long long>(r[fuse].stats.refs.writes),
+                  r[fuse].solutions.size());
+    bool same = r[0].stats == r[1].stats && r[0].solutions == r[1].solutions &&
+                r[0].output == r[1].output;
+    if (!same) {
+      std::printf("%-8s FUSED/UNFUSED GOLDEN STATS DIVERGE\n", name);
+      bad = 1;
+    }
+  }
+  std::puts(bad ? "fuse-smoke: FAIL" : "fuse-smoke: OK (fused == unfused)");
+  return bad;
 }
 
 }  // namespace
@@ -85,11 +238,25 @@ int main(int argc, char** argv) {
   rapwam::ReportOptions opt;
   opt.scale = cli.get("scale", "paper") == "small" ? rapwam::BenchScale::Small
                                                    : rapwam::BenchScale::Paper;
+  if (cli.has("profile-ops")) {
+    profile_ops(opt.scale);
+    return 0;
+  }
+  if (cli.has("fuse-smoke")) return fuse_smoke(opt.scale);
+  bool bare = argc == 1;
+  bool want_json = !cli.has("no-json") && (bare || cli.has("json-out"));
+  // Superinstruction fusion only applies to single-PE machines
+  // (multi-PE interleaving must match the unfused trace, DESIGN.md
+  // §13), so its before/after is measured on the 1-PE hot loop: qsort,
+  // no trace sink, best-of-N wall time per side. Measured first, on a
+  // quiet process — the 8-PE generate-once library heats the host and
+  // compresses the ratio.
+  FusionRates fr;
+  if (want_json) fr = fusion_rates(opt.scale, /*trials=*/12);
   rapwam::MlipsNumbers m = rapwam::mlips_numbers(opt);
   std::fputs(rapwam::mlips_report(m).str().c_str(), stdout);
-  bool bare = argc == 1;
-  if (!cli.has("no-json") && (bare || cli.has("json-out"))) {
-    emit_json(cli.get("json-out", "BENCH_engine.json"), opt, m);
+  if (want_json) {
+    emit_json(cli.get("json-out", "BENCH_engine.json"), opt, m, fr);
   }
   return 0;
 }

@@ -13,6 +13,9 @@ CodeStore::CodeStore(Interner& atoms) : atoms_(atoms) {
 i32 CodeStore::proc_index(PredId p) {
   auto it = proc_ids_.find(p);
   if (it != proc_ids_.end()) return it->second;
+  if (procs_.size() >= static_cast<std::size_t>(index_limit_)) [[unlikely]]
+    fail("proc table overflow: program needs more than " +
+         std::to_string(index_limit_) + " predicates");
   i32 idx = static_cast<i32>(procs_.size());
   procs_.push_back(Proc{p, -1});
   proc_ids_.emplace(p, idx);
@@ -20,6 +23,9 @@ i32 CodeStore::proc_index(PredId p) {
 }
 
 i32 CodeStore::new_switch_table() {
+  if (tables_.size() >= static_cast<std::size_t>(index_limit_)) [[unlikely]]
+    fail("switch-table overflow: program needs more than " +
+         std::to_string(index_limit_) + " switch tables");
   tables_.emplace_back();
   return static_cast<i32>(tables_.size()) - 1;
 }
@@ -82,6 +88,25 @@ std::string CodeStore::disassemble(i32 from, i32 to) const {
         os << " var=" << ins.a << " const=" << ins.b << " list=" << ins.c
            << " struct=" << ins.imm;
         break;
+      // Fused superinstructions whose operands embed atom/proc ids
+      // (the register-only fused ops read fine via the generic case).
+      case Op::FusePutValueXExecute: {
+        const Proc& p = proc(ins.c);
+        os << " X" << ins.a << ",A" << ins.b << " ; " << atoms_.name(p.pred.name)
+           << "/" << p.pred.arity;
+        break;
+      }
+      case Op::FuseGetStructUnifyVarX:
+        os << " " << atoms_.name(static_cast<u32>(ins.a)) << "/" << ins.c
+           << " A" << ins.b << " ; X" << ins.imm;
+        break;
+      case Op::FusePutValueX2Execute: {
+        const Proc& p = proc(static_cast<i32>(ins.imm >> 32));
+        os << " X" << ins.a << ",A" << ins.b << " ; X" << ins.c << ",A"
+           << (ins.imm & 0xFFFF) << " ; " << atoms_.name(p.pred.name) << "/"
+           << p.pred.arity;
+        break;
+      }
       default:
         if (ins.a || ins.b || ins.c || ins.imm) {
           os << " " << ins.a;

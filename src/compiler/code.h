@@ -6,6 +6,7 @@
 // Also provides a disassembler for tests and debugging.
 #pragma once
 
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +14,14 @@
 #include "prolog/term.h"
 
 namespace rapwam {
+
+/// Upper bound on every i32-indexed code-store space (code addresses,
+/// proc indices, switch-table ids). Growing past it would wrap
+/// static_cast<i32> into a bogus (negative) jump address, so emit /
+/// proc_index / new_switch_table throw rapwam::Error at the bound
+/// instead. Reaching the real bound takes 2^31 emits; tests lower it
+/// via set_index_limit_for_testing.
+inline constexpr i32 kMaxCodeIndex = std::numeric_limits<i32>::max() - 1;
 
 /// Reserved addresses, emitted by the CodeStore constructor.
 inline constexpr i32 kFailAddr = 0;          ///< FailAlways
@@ -29,6 +38,9 @@ class CodeStore {
   explicit CodeStore(Interner& atoms);
 
   i32 emit(const Instr& ins) {
+    if (code_.size() >= static_cast<std::size_t>(index_limit_)) [[unlikely]]
+      fail("code store overflow: program needs more than " +
+           std::to_string(index_limit_) + " instructions");
     code_.push_back(ins);
     return static_cast<i32>(code_.size()) - 1;
   }
@@ -64,12 +76,39 @@ class CodeStore {
   std::string disassemble(i32 from, i32 to) const;
   std::string disassemble_all() const { return disassemble(0, size()); }
 
+  /// Visits every switch-table entry as (table, key, addr). Used by the
+  /// fusion pass's branch-target analysis and by tests.
+  template <class Fn>
+  void for_each_switch_entry(Fn&& fn) const {
+    for (std::size_t t = 0; t < tables_.size(); ++t)
+      for (const auto& [key, addr] : tables_[t])
+        fn(static_cast<i32>(t), key, addr);
+  }
+
+  // -- fusion-pass support (compiler/fuse.cpp) ----------------------------
+
+  /// Replaces the instruction array wholesale (the fusion pass rebuilds
+  /// it compacted). The caller is responsible for remapping every
+  /// address that pointed into the old array.
+  void replace_code(std::vector<Instr> c) { code_ = std::move(c); }
+  /// Rewrites every switch-table target through `fn` (old addr -> new).
+  template <class Fn>
+  void remap_switch_entries(Fn&& fn) {
+    for (auto& tbl : tables_)
+      for (auto& [key, addr] : tbl) addr = fn(addr);
+  }
+
+  /// Lowers the i32-index overflow bound (default kMaxCodeIndex) so the
+  /// guard is unit-testable without 2^31 emits.
+  void set_index_limit_for_testing(i32 n) { index_limit_ = n; }
+
  private:
   Interner& atoms_;
   std::vector<Instr> code_;
   std::vector<Proc> procs_;
   std::unordered_map<PredId, i32, PredIdHash> proc_ids_;
   std::vector<std::unordered_map<u64, i32>> tables_;
+  i32 index_limit_ = kMaxCodeIndex;
 };
 
 }  // namespace rapwam

@@ -1,5 +1,7 @@
 #include "compiler/compile.h"
 
+#include "compiler/fuse.h"
+
 #include <algorithm>
 #include <optional>
 #include <deque>
@@ -738,8 +740,16 @@ class ProgramCompiler {
 
 }  // namespace
 
+std::unique_ptr<CodeStore> compile_program(Program& prog, const CompileOptions& opts) {
+  auto code = ProgramCompiler(prog, opts.strip_cge).run();
+  if (opts.fuse) fuse_code(*code);
+  return code;
+}
+
 std::unique_ptr<CodeStore> compile_program(Program& prog, bool strip_cge) {
-  return ProgramCompiler(prog, strip_cge).run();
+  CompileOptions opts;
+  opts.strip_cge = strip_cge;
+  return compile_program(prog, opts);
 }
 
 }  // namespace rapwam

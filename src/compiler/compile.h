@@ -28,9 +28,22 @@ namespace rapwam {
 /// stride in the Goal Stack).
 inline constexpr u32 kMaxParGoalArity = 12;
 
+/// Code-generation switches.
+struct CompileOptions {
+  bool strip_cge = false;  ///< sequential-WAM baseline compilation
+  /// Run the superinstruction fusion pass (compiler/fuse.h) after code
+  /// generation, rewriting hot straight-line opcode pairs/triples into
+  /// fused opcodes. Off by default at this layer; the Machine turns it
+  /// on for single-PE runs, where fused execution is provably
+  /// trace-identical to unfused (docs/DESIGN.md §13).
+  bool fuse = false;
+};
+
 /// Compiles every predicate of `prog` into a fresh CodeStore.
-/// `strip_cge` selects the sequential-WAM baseline compilation.
 /// Throws Error for undefined predicates or unsupported constructs.
+std::unique_ptr<CodeStore> compile_program(Program& prog, const CompileOptions& opts);
+
+/// Back-compat shim: `strip_cge` only, fusion off.
 std::unique_ptr<CodeStore> compile_program(Program& prog, bool strip_cge = false);
 
 }  // namespace rapwam

@@ -54,7 +54,15 @@ RunResult Machine::solve_term(const Term* goal, TraceSink* sink) {
     prog_.add_clause(head, goal);
     entry_goal = head;
   }
-  code_ = compile_program(prog_, cfg_.strip_cge);
+  CompileOptions copts;
+  copts.strip_cge = cfg_.strip_cge;
+  // Fusion compresses a PE's instruction stream in virtual time, which
+  // at >1 PE would reorder the cross-PE interleaving of the global
+  // MemRef stream and shift goal-steal/kill timing. At one PE neither
+  // is observable, so that is the only regime where the compiler may
+  // fuse while keeping traces bit-identical (docs/DESIGN.md §13).
+  copts.fuse = cfg_.fuse && cfg_.num_pes == 1;
+  code_ = compile_program(prog_, copts);
   halt_addr_ = code_->emit({Op::HaltSuccess, 0, 0, 0, 0});
   return run_query(entry_goal, sink);
 }
@@ -92,6 +100,8 @@ void Machine::reset(TraceSink* sink) {
   }
   stats_ = RunStats{};
   stats_.num_pes = cfg_.num_pes;
+  constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kOpCount);
+  pair_counts_.assign(cfg_.profile_ops ? kNumOps * kNumOps : 0, 0);
   out_.str("");
   done_ = false;
   query_failed_exhausted_ = false;
@@ -206,7 +216,7 @@ RunResult Machine::run_query(const Term* goal, TraceSink* sink) {
   PredId pred{goal->name, static_cast<u32>(goal->arity())};
   i32 pi = code_->find_proc(pred);
   if (pi < 0 || code_->proc(pi).entry < 0)
-    fail("unknown predicate in query: " + prog_.atoms().name(pred.name) + "/" +
+    fail("undefined predicate in query: " + prog_.atoms().name(pred.name) + "/" +
          std::to_string(pred.arity));
   w0.p = code_->proc(pi).entry;
   w0.cp = halt_addr_;
@@ -246,6 +256,17 @@ void Machine::record_high_water(const Worker& w) {
   upd(Area::Local, w.hw_local);
   upd(Area::Control, w.hw_control);
   upd(Area::Trail, w.hw_trail);
+}
+
+i32 Machine::resolved_entry(const Proc& pr) const {
+  // link_check() normally rejects unresolved predicates at compile
+  // time; this is the engine-side backstop for code stores assembled
+  // without it. A structured error naming the predicate — never a jump
+  // through entry == -1.
+  if (pr.entry < 0) [[unlikely]]
+    fail("call to undefined predicate: " + prog_.atoms().name(pr.pred.name) +
+         "/" + std::to_string(pr.pred.arity));
+  return pr.entry;
 }
 
 void Machine::step(Worker& w) {
@@ -290,16 +311,80 @@ void Machine::step(Worker& w) {
 
 bool threaded_dispatch_enabled() { return RAPWAM_THREADED_DISPATCH != 0; }
 
+std::vector<Machine::OpPair> Machine::op_pair_profile() const {
+  constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kOpCount);
+  std::vector<OpPair> out;
+  for (std::size_t i = 0; i < pair_counts_.size(); ++i) {
+    if (pair_counts_[i] == 0) continue;
+    out.push_back({static_cast<Op>(i / kNumOps), static_cast<Op>(i % kNumOps),
+                   pair_counts_[i]});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OpPair& a, const OpPair& b) { return a.count > b.count; });
+  return out;
+}
+
 void Machine::exec(Worker& w) {
   const Instr ins = code_->at(w.p);
   const i32 here = w.p;
   ++w.p;
   ++stats_.instructions;
 
+  if (!pair_counts_.empty()) [[unlikely]] {
+    // Count only contiguous-address successions: exactly the windows a
+    // static fusion pass could have rewritten.
+    if (here == w.prof_here + 1)
+      ++pair_counts_[static_cast<std::size_t>(w.prof_op) *
+                         static_cast<std::size_t>(Op::kOpCount) +
+                     static_cast<std::size_t>(ins.op)];
+    w.prof_here = here;
+    w.prof_op = static_cast<u8>(ins.op);
+  }
+
   auto fail_if = [&](bool bad) {
     if (bad) backtrack(w);
   };
   auto env_y = [&](i32 y) { return w.e + kEnvY + static_cast<u64>(y); };
+  // Retires one more original instruction inside a fused handler, so
+  // RunStats (instructions AND virtual cycles) stay bit-identical to
+  // the unfused run. Called exactly when the unfused machine would
+  // have started the corresponding constituent instruction — never
+  // after the first sub-op backtracked.
+  auto fused_step = [&] {
+    ++stats_.instructions;
+    ++stats_.cycles;
+  };
+  // In-place MathLoad body for the fused arithmetic ops (dst/src are X
+  // register indices). Returns false when the unfused instruction would
+  // have backtracked; the caller backtracks. Throws on unbound, exactly
+  // as the standalone handler does.
+  auto math_load_x = [&](std::size_t d, std::size_t s) -> bool {
+    u64 v = deref(w, w.x[s]);
+    if (cell_tag(v) == Tag::Int) {
+      w.x[d] = v;
+      return true;
+    }
+    if (cell_tag(v) == Tag::Ref)
+      fail("arithmetic: expression is not sufficiently instantiated");
+    if (cell_tag(v) == Tag::Str) {
+      auto r = eval_arith(w, v);
+      if (r) {
+        w.x[d] = make_int(*r);
+        return true;
+      }
+    }
+    return false;
+  };
+  auto math_cmp_ok = [](CmpFn fn, i64 s1, i64 s2) {
+    switch (fn) {
+      case CmpFn::Lt: return s1 < s2;
+      case CmpFn::Gt: return s1 > s2;
+      case CmpFn::Le: return s1 <= s2;
+      case CmpFn::Ge: return s1 >= s2;
+      case CmpFn::Eq: return s1 == s2;
+      default: return s1 != s2;
+    }
+  };
 
 #if RAPWAM_THREADED_DISPATCH
   // One label per opcode, indexed by the Op value — the entries must
@@ -320,7 +405,18 @@ void Machine::exec(Worker& w) {
       &&lbl_UnifyConstant, &&lbl_UnifyInteger, &&lbl_UnifyNil, &&lbl_UnifyVoid,
       &&lbl_MathLoad, &&lbl_MathRR, &&lbl_MathRI, &&lbl_MathCmp, &&lbl_Builtin,
       &&lbl_CheckGround, &&lbl_CheckIndep, &&lbl_PFrame, &&lbl_PGoal,
-      &&lbl_PWait};
+      &&lbl_PWait, &&lbl_FusePutValueX2, &&lbl_FusePutValueXMathLoad,
+      &&lbl_FusePutValueXExecute, &&lbl_FuseUnifyVarXGetVarX,
+      &&lbl_FuseUnifyVarX2, &&lbl_FuseGetListUnifyVarX2,
+      &&lbl_FuseGetListUnifyVarX, &&lbl_FuseGetListUnifyLocalX,
+      &&lbl_FuseGetVarXPutValueX, &&lbl_FuseGetVarX2, &&lbl_FuseGetVarXGetList,
+      &&lbl_FuseMathLoadPutValueX, &&lbl_FuseMathLoadMathCmp,
+      &&lbl_FuseUnifyLocalXUnifyVarX, &&lbl_FuseGetStructUnifyVarX,
+      &&lbl_FusePutValueX3, &&lbl_FuseNeckCutPutValueX,
+      &&lbl_FuseUnifyVarXPutValueX, &&lbl_FusePutUnsafeY2,
+      &&lbl_FuseMathRIGetVarX, &&lbl_FuseMathLoadMathRR,
+      &&lbl_FuseMathRRGetVarX, &&lbl_FuseCmpGuard, &&lbl_FusePutValueX2Execute,
+      &&lbl_FuseNeckCutPutValueX2, &&lbl_FuseGetVarXGetListUnifyLocalX};
   static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
                     static_cast<std::size_t>(Op::kOpCount),
                 "dispatch table out of sync with enum Op");
@@ -334,14 +430,14 @@ void Machine::exec(Worker& w) {
       const Proc& pr = code_->proc(ins.a);
       w.cp = w.p;
       w.b0 = w.b;
-      w.p = pr.entry;
+      w.p = resolved_entry(pr);
       ++stats_.calls;
       return;
     }
     RW_OP(Execute): {
       const Proc& pr = code_->proc(ins.a);
       w.b0 = w.b;
-      w.p = pr.entry;
+      w.p = resolved_entry(pr);
       ++stats_.calls;
       return;
     }
@@ -745,6 +841,449 @@ void Machine::exec(Worker& w) {
       w.p = here;  // pwait re-executes until the parcall completes
       exec_pwait(w);
       return;
+
+    // ----- Fused superinstructions (docs/DESIGN.md §13) ---------------
+    // Each body is the literal concatenation of its constituents' bodies
+    // above, with operands repacked per the comments in compiler/instr.h.
+    // fused_step() sits exactly where the unfused machine would fetch
+    // the next constituent, so a backtrack in an earlier sub-op skips
+    // it — RunStats stay bit-identical either way. Only single-PE
+    // machines compile fused code (see solve_term), so the MemRef
+    // stream ordering is the single worker's program order and matches
+    // the unfused stream cell for cell.
+    RW_OP(FusePutValueX2):
+      w.x[static_cast<std::size_t>(ins.b)] = w.x[static_cast<std::size_t>(ins.a)];
+      fused_step();
+      w.x[static_cast<std::size_t>(ins.imm)] = w.x[static_cast<std::size_t>(ins.c)];
+      return;
+    RW_OP(FusePutValueXMathLoad): {
+      w.x[static_cast<std::size_t>(ins.b)] = w.x[static_cast<std::size_t>(ins.a)];
+      fused_step();
+      u64 v = deref(w, w.x[static_cast<std::size_t>(ins.imm)]);
+      if (cell_tag(v) == Tag::Int) {
+        w.x[static_cast<std::size_t>(ins.c)] = v;
+        return;
+      }
+      if (cell_tag(v) == Tag::Ref)
+        fail("arithmetic: expression is not sufficiently instantiated");
+      if (cell_tag(v) == Tag::Str) {
+        auto r = eval_arith(w, v);
+        if (r) {
+          w.x[static_cast<std::size_t>(ins.c)] = make_int(*r);
+          return;
+        }
+      }
+      backtrack(w);
+      return;
+    }
+    RW_OP(FusePutValueXExecute): {
+      w.x[static_cast<std::size_t>(ins.b)] = w.x[static_cast<std::size_t>(ins.a)];
+      fused_step();
+      const Proc& pr = code_->proc(ins.c);
+      w.b0 = w.b;
+      w.p = resolved_entry(pr);
+      ++stats_.calls;
+      return;
+    }
+    RW_OP(FuseUnifyVarXGetVarX): {
+      if (w.write_mode) {
+        u64 addr = w.h;
+        heap_push(w, make_ref(addr));
+        w.x[static_cast<std::size_t>(ins.a)] = make_ref(addr);
+      } else {
+        w.x[static_cast<std::size_t>(ins.a)] = rd(w, w.s++, ObjClass::HeapTerm);
+      }
+      fused_step();
+      w.x[static_cast<std::size_t>(ins.c)] = w.x[static_cast<std::size_t>(ins.imm)];
+      return;
+    }
+    RW_OP(FuseUnifyVarX2): {
+      if (w.write_mode) {
+        u64 a1 = w.h;
+        heap_push(w, make_ref(a1));
+        w.x[static_cast<std::size_t>(ins.a)] = make_ref(a1);
+        fused_step();
+        u64 a2 = w.h;
+        heap_push(w, make_ref(a2));
+        w.x[static_cast<std::size_t>(ins.c)] = make_ref(a2);
+      } else {
+        w.x[static_cast<std::size_t>(ins.a)] = rd(w, w.s++, ObjClass::HeapTerm);
+        fused_step();
+        w.x[static_cast<std::size_t>(ins.c)] = rd(w, w.s++, ObjClass::HeapTerm);
+      }
+      return;
+    }
+    RW_OP(FuseGetListUnifyVarX2): {
+      u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
+      if (cell_tag(d) == Tag::Ref) {
+        bind(w, d, make_lis(w.h));
+        w.write_mode = true;
+        fused_step();
+        u64 a1 = w.h;
+        heap_push(w, make_ref(a1));
+        w.x[static_cast<std::size_t>(ins.a)] = make_ref(a1);
+        fused_step();
+        u64 a2 = w.h;
+        heap_push(w, make_ref(a2));
+        w.x[static_cast<std::size_t>(ins.c)] = make_ref(a2);
+      } else if (cell_tag(d) == Tag::Lis) {
+        w.s = cell_val(d);
+        w.write_mode = false;
+        fused_step();
+        w.x[static_cast<std::size_t>(ins.a)] = rd(w, w.s++, ObjClass::HeapTerm);
+        fused_step();
+        w.x[static_cast<std::size_t>(ins.c)] = rd(w, w.s++, ObjClass::HeapTerm);
+      } else {
+        backtrack(w);
+      }
+      return;
+    }
+    RW_OP(FuseGetListUnifyVarX): {
+      u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
+      if (cell_tag(d) == Tag::Ref) {
+        bind(w, d, make_lis(w.h));
+        w.write_mode = true;
+        fused_step();
+        u64 a1 = w.h;
+        heap_push(w, make_ref(a1));
+        w.x[static_cast<std::size_t>(ins.a)] = make_ref(a1);
+      } else if (cell_tag(d) == Tag::Lis) {
+        w.s = cell_val(d);
+        w.write_mode = false;
+        fused_step();
+        w.x[static_cast<std::size_t>(ins.a)] = rd(w, w.s++, ObjClass::HeapTerm);
+      } else {
+        backtrack(w);
+      }
+      return;
+    }
+    RW_OP(FuseGetListUnifyLocalX): {
+      u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
+      if (cell_tag(d) == Tag::Ref) {
+        bind(w, d, make_lis(w.h));
+        w.write_mode = true;
+        fused_step();
+        u64 v = deref(w, w.x[static_cast<std::size_t>(ins.a)]);
+        if (cell_tag(v) == Tag::Ref &&
+            layout_->area_of(cell_val(v)) != Area::Heap) {
+          u64 ha = w.h;
+          heap_push(w, make_ref(ha));
+          bind(w, v, make_ref(ha));
+          w.x[static_cast<std::size_t>(ins.a)] = make_ref(ha);
+        } else {
+          heap_push(w, v);
+          w.x[static_cast<std::size_t>(ins.a)] = v;
+        }
+      } else if (cell_tag(d) == Tag::Lis) {
+        w.s = cell_val(d);
+        w.write_mode = false;
+        fused_step();
+        fail_if(!unify(w, w.x[static_cast<std::size_t>(ins.a)],
+                       rd(w, w.s++, ObjClass::HeapTerm)));
+      } else {
+        backtrack(w);
+      }
+      return;
+    }
+    RW_OP(FuseGetVarXPutValueX):
+      w.x[static_cast<std::size_t>(ins.a)] = w.x[static_cast<std::size_t>(ins.b)];
+      fused_step();
+      w.x[static_cast<std::size_t>(ins.imm)] = w.x[static_cast<std::size_t>(ins.c)];
+      return;
+    RW_OP(FuseGetVarX2):
+      w.x[static_cast<std::size_t>(ins.a)] = w.x[static_cast<std::size_t>(ins.b)];
+      fused_step();
+      w.x[static_cast<std::size_t>(ins.c)] = w.x[static_cast<std::size_t>(ins.imm)];
+      return;
+    RW_OP(FuseGetVarXGetList): {
+      w.x[static_cast<std::size_t>(ins.a)] = w.x[static_cast<std::size_t>(ins.b)];
+      fused_step();
+      u64 d = deref(w, w.x[static_cast<std::size_t>(ins.c)]);
+      if (cell_tag(d) == Tag::Ref) {
+        bind(w, d, make_lis(w.h));
+        w.write_mode = true;
+      } else if (cell_tag(d) == Tag::Lis) {
+        w.s = cell_val(d);
+        w.write_mode = false;
+      } else {
+        backtrack(w);
+      }
+      return;
+    }
+    RW_OP(FuseMathLoadPutValueX): {
+      u64 v = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
+      if (cell_tag(v) == Tag::Int) {
+        w.x[static_cast<std::size_t>(ins.a)] = v;
+      } else if (cell_tag(v) == Tag::Ref) {
+        fail("arithmetic: expression is not sufficiently instantiated");
+      } else {
+        bool ok = false;
+        if (cell_tag(v) == Tag::Str) {
+          auto r = eval_arith(w, v);
+          if (r) {
+            w.x[static_cast<std::size_t>(ins.a)] = make_int(*r);
+            ok = true;
+          }
+        }
+        if (!ok) {
+          backtrack(w);
+          return;
+        }
+      }
+      fused_step();
+      w.x[static_cast<std::size_t>(ins.imm)] = w.x[static_cast<std::size_t>(ins.c)];
+      return;
+    }
+    RW_OP(FuseMathLoadMathCmp): {
+      u64 v = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
+      if (cell_tag(v) == Tag::Int) {
+        w.x[static_cast<std::size_t>(ins.a)] = v;
+      } else if (cell_tag(v) == Tag::Ref) {
+        fail("arithmetic: expression is not sufficiently instantiated");
+      } else {
+        bool ok = false;
+        if (cell_tag(v) == Tag::Str) {
+          auto r = eval_arith(w, v);
+          if (r) {
+            w.x[static_cast<std::size_t>(ins.a)] = make_int(*r);
+            ok = true;
+          }
+        }
+        if (!ok) {
+          backtrack(w);
+          return;
+        }
+      }
+      fused_step();
+      i64 s1 = int_val(w.x[static_cast<std::size_t>((ins.imm >> 16) & 0xFFFF)]);
+      i64 s2 = int_val(w.x[static_cast<std::size_t>(ins.imm & 0xFFFF)]);
+      bool ok;
+      switch (static_cast<CmpFn>(ins.c)) {
+        case CmpFn::Lt: ok = s1 < s2; break;
+        case CmpFn::Gt: ok = s1 > s2; break;
+        case CmpFn::Le: ok = s1 <= s2; break;
+        case CmpFn::Ge: ok = s1 >= s2; break;
+        case CmpFn::Eq: ok = s1 == s2; break;
+        default: ok = s1 != s2; break;
+      }
+      if (!ok) backtrack(w);
+      return;
+    }
+    RW_OP(FuseUnifyLocalXUnifyVarX): {
+      if (!w.write_mode) {
+        if (!unify(w, w.x[static_cast<std::size_t>(ins.a)],
+                   rd(w, w.s++, ObjClass::HeapTerm))) {
+          backtrack(w);
+          return;
+        }
+        fused_step();
+        w.x[static_cast<std::size_t>(ins.c)] = rd(w, w.s++, ObjClass::HeapTerm);
+        return;
+      }
+      u64 v = deref(w, w.x[static_cast<std::size_t>(ins.a)]);
+      if (cell_tag(v) == Tag::Ref &&
+          layout_->area_of(cell_val(v)) != Area::Heap) {
+        u64 ha = w.h;
+        heap_push(w, make_ref(ha));
+        bind(w, v, make_ref(ha));
+        w.x[static_cast<std::size_t>(ins.a)] = make_ref(ha);
+      } else {
+        heap_push(w, v);
+        w.x[static_cast<std::size_t>(ins.a)] = v;
+      }
+      fused_step();
+      u64 a2 = w.h;
+      heap_push(w, make_ref(a2));
+      w.x[static_cast<std::size_t>(ins.c)] = make_ref(a2);
+      return;
+    }
+    RW_OP(FuseGetStructUnifyVarX): {
+      u64 d = deref(w, w.x[static_cast<std::size_t>(ins.b)]);
+      if (cell_tag(d) == Tag::Ref) {
+        u64 addr = w.h;
+        heap_push(w, make_fun(static_cast<u32>(ins.a), static_cast<u32>(ins.c)));
+        bind(w, d, make_str(addr));
+        w.write_mode = true;
+        fused_step();
+        u64 a1 = w.h;
+        heap_push(w, make_ref(a1));
+        w.x[static_cast<std::size_t>(ins.imm)] = make_ref(a1);
+      } else if (cell_tag(d) == Tag::Str) {
+        u64 f = rd(w, cell_val(d), ObjClass::HeapTerm);
+        if (f != make_fun(static_cast<u32>(ins.a), static_cast<u32>(ins.c))) {
+          backtrack(w);
+          return;
+        }
+        w.s = cell_val(d) + 1;
+        w.write_mode = false;
+        fused_step();
+        w.x[static_cast<std::size_t>(ins.imm)] = rd(w, w.s++, ObjClass::HeapTerm);
+      } else {
+        backtrack(w);
+      }
+      return;
+    }
+    RW_OP(FusePutValueX3):
+      w.x[static_cast<std::size_t>(ins.b)] = w.x[static_cast<std::size_t>(ins.a)];
+      fused_step();
+      w.x[static_cast<std::size_t>(ins.imm & 0xFFFF)] =
+          w.x[static_cast<std::size_t>(ins.c)];
+      fused_step();
+      w.x[static_cast<std::size_t>((ins.imm >> 32) & 0xFFFF)] =
+          w.x[static_cast<std::size_t>((ins.imm >> 16) & 0xFFFF)];
+      return;
+    RW_OP(FuseNeckCutPutValueX):
+      do_cut(w, w.b0);
+      fused_step();
+      w.x[static_cast<std::size_t>(ins.b)] = w.x[static_cast<std::size_t>(ins.a)];
+      return;
+    RW_OP(FuseUnifyVarXPutValueX): {
+      if (w.write_mode) {
+        u64 addr = w.h;
+        heap_push(w, make_ref(addr));
+        w.x[static_cast<std::size_t>(ins.a)] = make_ref(addr);
+      } else {
+        w.x[static_cast<std::size_t>(ins.a)] = rd(w, w.s++, ObjClass::HeapTerm);
+      }
+      fused_step();
+      w.x[static_cast<std::size_t>(ins.imm)] = w.x[static_cast<std::size_t>(ins.c)];
+      return;
+    }
+    RW_OP(FusePutUnsafeY2): {
+      {
+        u64 v = deref(w, rd(w, env_y(ins.a), ObjClass::EnvPermVar));
+        if (cell_tag(v) == Tag::Ref) {
+          u64 addr = cell_val(v);
+          u64 ny = cell_val(rd(w, w.e + kEnvNY, ObjClass::EnvControl));
+          if (addr >= w.e && addr < w.e + env_size(ny)) {
+            u64 ha = w.h;
+            heap_push(w, make_ref(ha));
+            bind(w, v, make_ref(ha));
+            v = make_ref(ha);
+          }
+        }
+        w.x[static_cast<std::size_t>(ins.b)] = v;
+      }
+      fused_step();
+      {
+        u64 v = deref(w, rd(w, env_y(ins.c), ObjClass::EnvPermVar));
+        if (cell_tag(v) == Tag::Ref) {
+          u64 addr = cell_val(v);
+          u64 ny = cell_val(rd(w, w.e + kEnvNY, ObjClass::EnvControl));
+          if (addr >= w.e && addr < w.e + env_size(ny)) {
+            u64 ha = w.h;
+            heap_push(w, make_ref(ha));
+            bind(w, v, make_ref(ha));
+            v = make_ref(ha);
+          }
+        }
+        w.x[static_cast<std::size_t>(ins.imm)] = v;
+      }
+      return;
+    }
+    RW_OP(FuseMathRIGetVarX): {
+      i64 s1 = int_val(w.x[static_cast<std::size_t>(ins.c)]);
+      w.x[static_cast<std::size_t>(ins.b)] =
+          make_int(math_apply(static_cast<MathFn>(ins.a), s1, ins.imm >> 16));
+      fused_step();
+      w.x[static_cast<std::size_t>(ins.imm & 0xFFFF)] =
+          w.x[static_cast<std::size_t>(ins.b)];
+      return;
+    }
+    RW_OP(FuseMathLoadMathRR): {
+      if (!math_load_x(static_cast<std::size_t>(ins.a),
+                       static_cast<std::size_t>(ins.b))) {
+        backtrack(w);
+        return;
+      }
+      fused_step();
+      i64 s1 = int_val(w.x[static_cast<std::size_t>((ins.imm >> 16) & 0xFFFF)]);
+      i64 s2 = int_val(w.x[static_cast<std::size_t>((ins.imm >> 32) & 0xFFFF)]);
+      w.x[static_cast<std::size_t>(ins.imm & 0xFFFF)] =
+          make_int(math_apply(static_cast<MathFn>(ins.c), s1, s2));
+      return;
+    }
+    RW_OP(FuseMathRRGetVarX): {
+      i64 s1 = int_val(w.x[static_cast<std::size_t>(ins.c)]);
+      i64 s2 = int_val(w.x[static_cast<std::size_t>(ins.imm & 0xFFFF)]);
+      w.x[static_cast<std::size_t>(ins.b)] =
+          make_int(math_apply(static_cast<MathFn>(ins.a), s1, s2));
+      fused_step();
+      w.x[static_cast<std::size_t>((ins.imm >> 16) & 0xFFFF)] =
+          w.x[static_cast<std::size_t>(ins.b)];
+      return;
+    }
+    RW_OP(FuseCmpGuard): {
+      const auto t1 = static_cast<std::size_t>(ins.b);
+      const auto t2 = static_cast<std::size_t>(ins.imm & 0xFFFF);
+      w.x[t1] = w.x[static_cast<std::size_t>(ins.a)];
+      fused_step();
+      if (!math_load_x(t1, t1)) {
+        backtrack(w);
+        return;
+      }
+      fused_step();
+      w.x[t2] = w.x[static_cast<std::size_t>(ins.c)];
+      fused_step();
+      if (!math_load_x(t2, t2)) {
+        backtrack(w);
+        return;
+      }
+      fused_step();
+      if (!math_cmp_ok(static_cast<CmpFn>((ins.imm >> 16) & 0xFF),
+                       int_val(w.x[t1]), int_val(w.x[t2])))
+        backtrack(w);
+      return;
+    }
+    RW_OP(FusePutValueX2Execute): {
+      w.x[static_cast<std::size_t>(ins.b)] = w.x[static_cast<std::size_t>(ins.a)];
+      fused_step();
+      w.x[static_cast<std::size_t>(ins.imm & 0xFFFF)] =
+          w.x[static_cast<std::size_t>(ins.c)];
+      fused_step();
+      const Proc& pr = code_->proc(static_cast<i32>(ins.imm >> 32));
+      w.b0 = w.b;
+      w.p = resolved_entry(pr);
+      ++stats_.calls;
+      return;
+    }
+    RW_OP(FuseNeckCutPutValueX2):
+      do_cut(w, w.b0);
+      fused_step();
+      w.x[static_cast<std::size_t>(ins.b)] = w.x[static_cast<std::size_t>(ins.a)];
+      fused_step();
+      w.x[static_cast<std::size_t>(ins.imm)] = w.x[static_cast<std::size_t>(ins.c)];
+      return;
+    RW_OP(FuseGetVarXGetListUnifyLocalX): {
+      w.x[static_cast<std::size_t>(ins.a)] = w.x[static_cast<std::size_t>(ins.b)];
+      fused_step();
+      u64 d = deref(w, w.x[static_cast<std::size_t>(ins.c)]);
+      if (cell_tag(d) == Tag::Ref) {
+        bind(w, d, make_lis(w.h));
+        w.write_mode = true;
+        fused_step();
+        u64 v = deref(w, w.x[static_cast<std::size_t>(ins.imm)]);
+        if (cell_tag(v) == Tag::Ref &&
+            layout_->area_of(cell_val(v)) != Area::Heap) {
+          u64 ha = w.h;
+          heap_push(w, make_ref(ha));
+          bind(w, v, make_ref(ha));
+          w.x[static_cast<std::size_t>(ins.imm)] = make_ref(ha);
+        } else {
+          heap_push(w, v);
+          w.x[static_cast<std::size_t>(ins.imm)] = v;
+        }
+      } else if (cell_tag(d) == Tag::Lis) {
+        w.s = cell_val(d);
+        w.write_mode = false;
+        fused_step();
+        fail_if(!unify(w, w.x[static_cast<std::size_t>(ins.imm)],
+                       rd(w, w.s++, ObjClass::HeapTerm)));
+      } else {
+        backtrack(w);
+      }
+      return;
+    }
 #if !RAPWAM_THREADED_DISPATCH
   }
   RW_CHECK(false, "unhandled opcode");

@@ -60,8 +60,7 @@ void Machine::exec_pframe(Worker& w, int nslots, int pf_y, u64 wait_p) {
 
 void Machine::exec_pgoal(Worker& w, int slot, i32 proc_idx, int arity) {
   RW_CHECK(w.pf != 0, "pgoal without parcall frame");
-  i32 entry = code_->proc(proc_idx).entry;
-  RW_CHECK(entry >= 0, "pgoal to unresolved predicate");
+  i32 entry = resolved_entry(code_->proc(proc_idx));
   u64 gs = w.goal_base;
   wr(w, gs + kGsLock, make_raw(1), ObjClass::GoalFrame);  // test-and-set
   u64 top = cell_val(rd(w, gs + kGsTop, ObjClass::GoalFrame));

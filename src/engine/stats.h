@@ -26,6 +26,10 @@ struct RunStats {
   /// Max words ever in use per area (max over PEs).
   std::array<u64, kAreaCount> high_water{};
 
+  /// Field-for-field equality: the fused-vs-unfused differential suite
+  /// and the CI fuse-smoke pin golden stats with this.
+  bool operator==(const RunStats&) const = default;
+
   /// References issued while doing useful work ("work" in Fig. 2).
   u64 work_refs() const { return refs.busy; }
 };

@@ -22,6 +22,8 @@ struct RefCounts {
   std::array<u64, kObjClassCount> by_class{};
   std::array<u64, kMaxTracePes> by_pe{};
 
+  bool operator==(const RefCounts&) const = default;
+
   void add(const MemRef& r) {
     ++total;
     if (r.write) ++writes; else ++reads;

@@ -262,5 +262,89 @@ TEST(Compiler, SwitchTablesResolveConstants) {
   EXPECT_EQ(c->at(target).op, Op::GetConstant);  // clause code for t(a,1)
 }
 
+TEST(CodeStoreGuards, EmitThrowsAtIndexLimit) {
+  Program p;
+  p.consult("a.");
+  auto c = comp(p);
+  c->set_index_limit_for_testing(c->size() + 2);
+  i32 e1 = c->emit({Op::Proceed, 0, 0, 0, 0});
+  EXPECT_EQ(e1, c->size() - 1);
+  i32 e2 = c->emit({Op::Proceed, 0, 0, 0, 0});
+  EXPECT_EQ(e2, c->size() - 1);
+  try {
+    c->emit({Op::Proceed, 0, 0, 0, 0});
+    FAIL() << "emit past the index limit must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("code store overflow"), std::string::npos);
+  }
+}
+
+TEST(CodeStoreGuards, ProcIndexThrowsAtIndexLimit) {
+  Program p;
+  p.consult("a.");
+  auto c = comp(p);
+  c->set_index_limit_for_testing(static_cast<i32>(c->proc_count()) + 1);
+  c->proc_index(PredId{1000, 1});  // fills the last free slot
+  EXPECT_GE(c->proc_index(PredId{1000, 1}), 0);  // lookup of existing: fine
+  try {
+    c->proc_index(PredId{1000, 2});
+    FAIL() << "proc_index past the index limit must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("proc table overflow"), std::string::npos);
+  }
+}
+
+TEST(CodeStoreGuards, NewSwitchTableThrowsAtIndexLimit) {
+  Program p;
+  p.consult("a.");
+  auto c = comp(p);
+  c->set_index_limit_for_testing(1);
+  bool had_table = false;
+  try {
+    c->new_switch_table();
+    had_table = true;
+    c->new_switch_table();
+    FAIL() << "new_switch_table past the index limit must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("switch-table overflow"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(had_table);  // only the second creation may throw
+}
+
+TEST(Disassembler, EveryOpcodeHasANameAndListing) {
+  // Round-trip over the whole opcode space, fused ops included: no Op
+  // value may disassemble to the "?" fallback, so adding an opcode
+  // without teaching op_name/disassemble about it fails here instead
+  // of drifting silently.
+  Program p;
+  p.consult("a.");  // gives the store a proc (idx 0) and interned atoms
+  auto c = comp(p);
+  for (int v = 0; v < static_cast<int>(Op::kOpCount); ++v) {
+    Op op = static_cast<Op>(v);
+    std::string name = op_name(op);
+    EXPECT_NE(name, "?") << "op value " << v;
+    i32 addr = c->emit({op, 0, 0, 0, 0});
+    std::string listing = c->disassemble(addr, addr + 1);
+    EXPECT_NE(listing.find(name), std::string::npos)
+        << "listing for op " << v << ": " << listing;
+    EXPECT_EQ(listing.find('?'), std::string::npos)
+        << "listing for op " << v << ": " << listing;
+  }
+  EXPECT_STREQ(op_name(Op::kOpCount), "?");  // out-of-range sentinel only
+}
+
+TEST(LinkCheck, UndefinedPredicateInProgramThrowsNamedError) {
+  Program p;
+  p.consult("a :- undefined_helper(1).");
+  try {
+    comp(p);
+    FAIL() << "link check must reject the undefined predicate";
+  } catch (const Error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("undefined_helper/1"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace rapwam

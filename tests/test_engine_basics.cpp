@@ -293,6 +293,23 @@ TEST(Engine, UnifyTwoQueryVars) {
   EXPECT_EQ(binding(r, "A"), binding(r, "B"));
 }
 
+TEST(Engine, UndefinedPredicateInQueryRaisesNamedError) {
+  // The program's link check never sees the query, so a query-only
+  // undefined predicate reaches the engine. It must surface as a
+  // structured Error naming predicate and arity — never a jump through
+  // entry == -1 (resolved_entry() is the call-time backstop for code
+  // stores assembled without a link check).
+  Env e("a(1).");
+  try {
+    e.run("no_such_pred(1, 2).");
+    FAIL() << "calling an undefined predicate must throw";
+  } catch (const Error& err) {
+    std::string msg = err.what();
+    EXPECT_NE(msg.find("undefined predicate"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("no_such_pred/2"), std::string::npos) << msg;
+  }
+}
+
 TEST(Dispatch, ComputedGotoSelectedOnGnuCompilers) {
   // The interpreter core must actually be the threaded-dispatch build
   // wherever computed goto is available (GCC/Clang, i.e. both CI
