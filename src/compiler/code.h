@@ -61,6 +61,7 @@ class CodeStore {
 
   /// Switch table support: keys are tagged constants (see const_key).
   i32 new_switch_table();
+  i32 table_count() const { return static_cast<i32>(tables_.size()); }
   void switch_add(i32 table, u64 key, i32 addr);
   i32 switch_lookup(i32 table, u64 key) const;  ///< kFailAddr on miss
 

@@ -1,6 +1,7 @@
 #include "compiler/compile.h"
 
 #include "compiler/fuse.h"
+#include "compiler/verify.h"
 
 #include <algorithm>
 #include <optional>
@@ -742,7 +743,11 @@ class ProgramCompiler {
 
 std::unique_ptr<CodeStore> compile_program(Program& prog, const CompileOptions& opts) {
   auto code = ProgramCompiler(prog, opts.strip_cge).run();
-  if (opts.fuse) fuse_code(*code);
+  verify_code(*code);
+  if (opts.fuse) {
+    fuse_code(*code);
+    verify_code(*code);  // the fuse pass must preserve verifiability
+  }
   return code;
 }
 

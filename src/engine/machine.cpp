@@ -3,6 +3,8 @@
 #include "engine/machine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace rapwam {
 
@@ -17,11 +19,14 @@ Machine::Machine(Program& prog, MachineConfig cfg) : prog_(prog), cfg_(std::move
 
 Machine::~Machine() = default;
 
-RunResult Machine::solve(const std::string& goal_text, TraceSink* sink) {
-  return solve_term(prog_.parse_goal(goal_text), sink);
+RunResult Machine::solve(const std::string& goal_text, TraceSink* sink,
+                         const CancelToken* cancel) {
+  return solve_term(prog_.parse_goal(goal_text), sink, cancel);
 }
 
-RunResult Machine::solve_term(const Term* goal, TraceSink* sink) {
+RunResult Machine::solve_term(const Term* goal, TraceSink* sink,
+                              const CancelToken* cancel) {
+  cancel_ = cancel;
   // A plain predicate call runs directly: its arguments (which may be
   // large data terms) are built straight onto PE0's heap. Control
   // constructs and builtins are wrapped in a fresh driver predicate
@@ -89,6 +94,16 @@ void Machine::reset(TraceSink* sink) {
     w.goal_limit = layout_->limit(pe, Area::GoalStack);
     w.msg_base = layout_->base(pe, Area::MsgBuffer);
     w.msg_limit = layout_->limit(pe, Area::MsgBuffer);
+    // Resource budgets: lower the cached per-PE limits so every
+    // existing overflow check enforces the cap with zero added cost.
+    const ResourceLimits& lim = cfg_.limits;
+    auto cap = [](u64& limit, u64 base, u64 words) {
+      if (words) limit = std::min(limit, base + words);
+    };
+    cap(w.heap_limit, w.heap_base, lim.max_heap_words);
+    cap(w.local_limit, w.local_base, lim.max_local_words);
+    cap(w.control_limit, w.control_base, lim.max_control_words);
+    cap(w.trail_limit, w.trail_base, lim.max_trail_words);
     w.h = w.heap_base;
     w.hb = w.heap_base;
     w.tr = w.trail_base;
@@ -100,6 +115,7 @@ void Machine::reset(TraceSink* sink) {
   }
   stats_ = RunStats{};
   stats_.num_pes = cfg_.num_pes;
+  heap_pushes_ = 0;
   constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kOpCount);
   pair_counts_.assign(cfg_.profile_ops ? kNumOps * kNumOps : 0, 0);
   out_.str("");
@@ -227,6 +243,22 @@ RunResult Machine::run_query(const Term* goal, TraceSink* sink) {
     ++stats_.cycles;
     if (stats_.cycles > cfg_.max_cycles)
       fail("cycle watchdog exceeded (" + std::to_string(cfg_.max_cycles) + ")");
+    // Governance checkpoints. With no token, budgets, or faults these
+    // are three always-false predictable branches per cycle, and no
+    // stat or trace output changes — the bit-identity tests pin that.
+    if (cancel_ && (stats_.cycles & 1023) == 0) [[unlikely]]
+      cancel_->checkpoint();
+    if (cfg_.limits.max_steps &&
+        stats_.instructions >= cfg_.limits.max_steps) [[unlikely]]
+      throw ResourceExhaustedError(
+          "steps", "resource_exhausted: step budget tripped after " +
+                       std::to_string(stats_.instructions) +
+                       " instructions (max_steps=" +
+                       std::to_string(cfg_.limits.max_steps) + ")");
+    if (cfg_.faults.stall_every_cycles &&
+        stats_.cycles % cfg_.faults.stall_every_cycles == 0) [[unlikely]]
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(cfg_.faults.stall_ms));
     for (Worker& w : workers_) {
       step(w);
       if (done_) break;

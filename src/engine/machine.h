@@ -31,6 +31,7 @@
 #include "engine/bus.h"
 #include "engine/stats.h"
 #include "prolog/program.h"
+#include "support/cancel.h"
 
 namespace rapwam {
 
@@ -40,11 +41,44 @@ namespace rapwam {
 /// asserts this returns true on the GCC/Clang Release builds.
 bool threaded_dispatch_enabled();
 
+/// Per-query resource budgets (0 = uncapped). Area caps lower the
+/// per-PE area limits cached at reset time, so enforcement adds
+/// nothing to the hot path; the step budget is checked once per
+/// virtual cycle (overshoot bounded by num_pes instructions).
+/// Tripping any budget throws ResourceExhaustedError naming the
+/// budget that fired; the machine stays reusable — the next solve
+/// resets all per-run state.
+struct ResourceLimits {
+  u64 max_heap_words = 0;     ///< per-PE heap cap, words
+  u64 max_local_words = 0;    ///< per-PE local-stack cap, words
+  u64 max_control_words = 0;  ///< per-PE control-stack cap, words
+  u64 max_trail_words = 0;    ///< per-PE trail cap, words
+  u64 max_steps = 0;          ///< total executed instructions
+  bool any() const {
+    return max_heap_words || max_local_words || max_control_words ||
+           max_trail_words || max_steps;
+  }
+};
+
+/// Deterministic engine-side fault injection (server fault plans,
+/// robustness tests): make the Nth heap allocation fail as if the heap
+/// were exhausted, or stall the cycle loop in wall-clock time to
+/// simulate a pathologically slow generation (so deadline-cancellation
+/// paths can be pinned without a genuinely huge query).
+struct EngineFaults {
+  u64 fail_heap_growth_n = 0;  ///< 1-based: fail the Nth heap_push
+  u64 stall_every_cycles = 0;  ///< sleep stall_ms every K cycles
+  u64 stall_ms = 0;
+  bool any() const { return fail_heap_growth_n || stall_every_cycles; }
+};
+
 struct MachineConfig {
   unsigned num_pes = 1;
   AreaSizes sizes{};
   u64 max_cycles = 2'000'000'000;  ///< watchdog against runaway queries
   unsigned max_solutions = 1;
+  ResourceLimits limits{};         ///< resource budgets (0 = uncapped)
+  EngineFaults faults{};           ///< engine-side fault injection
   bool strip_cge = false;          ///< compile the sequential-WAM baseline
   /// Superinstruction fusion (docs/DESIGN.md §13). Only single-PE
   /// machines actually compile fused code — at one PE fused execution
@@ -134,8 +168,15 @@ class Machine {
 
   /// Runs `goal_text` (e.g. "qsort([3,1,2],R)") and returns solutions
   /// and statistics. An optional sink receives the reference stream.
-  RunResult solve(const std::string& goal_text, TraceSink* sink = nullptr);
-  RunResult solve_term(const Term* goal, TraceSink* sink = nullptr);
+  /// A non-null `cancel` token is checkpointed inside the cycle loop
+  /// (every 1024 cycles, covering call/backtrack/parcall boundaries in
+  /// both dispatch cores), so a deadline or explicit cancel interrupts
+  /// the run mid-generation with CancelledError; the machine stays
+  /// reusable afterwards.
+  RunResult solve(const std::string& goal_text, TraceSink* sink = nullptr,
+                  const CancelToken* cancel = nullptr);
+  RunResult solve_term(const Term* goal, TraceSink* sink = nullptr,
+                       const CancelToken* cancel = nullptr);
 
   const CodeStore& code() const { return *code_; }
   const MachineConfig& config() const { return cfg_; }
@@ -269,6 +310,8 @@ class Machine {
   std::vector<u64> pair_counts_;
 
   // Per-run state.
+  const CancelToken* cancel_ = nullptr;  ///< borrowed for one solve
+  u64 heap_pushes_ = 0;                  ///< counted only when faults armed
   std::unique_ptr<Layout> layout_;
   std::unique_ptr<MemBus> bus_;
   std::vector<Worker> workers_;

@@ -35,7 +35,9 @@ void Machine::exec_pframe(Worker& w, int nslots, int pf_y, u64 wait_p) {
   u64 base = local_top(w);
   u64 sz = pf_size(static_cast<u64>(nslots));
   if (base + sz > w.local_limit)
-    fail("local stack overflow (parcall frame) on PE " + std::to_string(w.pe));
+    throw ResourceExhaustedError(
+        "local", "resource_exhausted: local stack overflow (parcall frame) on PE " +
+                     std::to_string(w.pe));
   wr(w, base + kPfPrev, make_raw(w.pf), ObjClass::ParcallLocal);
   wr(w, base + kPfNSlots, make_raw(static_cast<u64>(nslots)), ObjClass::ParcallLocal);
   wr(w, base + kPfPending, make_raw(static_cast<u64>(nslots)), ObjClass::ParcallCount);
@@ -66,7 +68,9 @@ void Machine::exec_pgoal(Worker& w, int slot, i32 proc_idx, int arity) {
   u64 top = cell_val(rd(w, gs + kGsTop, ObjClass::GoalFrame));
   u64 fr = gs + kGsFrames + top * kGoalStride;
   if (fr + kGoalStride > w.goal_limit)
-    fail("goal stack overflow on PE " + std::to_string(w.pe));
+    throw ResourceExhaustedError(
+        "goal_stack", "resource_exhausted: goal stack overflow on PE " +
+                          std::to_string(w.pe));
   wr(w, fr + kGfPfSlot, make_raw(lgf_pack(w.pf, static_cast<u64>(slot))),
      ObjClass::GoalFrame);
   wr(w, fr + kGfEntryArity,
@@ -210,7 +214,9 @@ void Machine::start_local_goal(Worker& w, u64 pf, u64 slot, i32 entry, int arity
                                const u64* args, i32 resume_p) {
   u64 lg = w.ctop;
   if (lg + kLgfSize > w.control_limit)
-    fail("control stack overflow (local goal frame) on PE " + std::to_string(w.pe));
+    throw ResourceExhaustedError(
+        "control", "resource_exhausted: control stack overflow (local goal frame) on PE " +
+                       std::to_string(w.pe));
   wr(w, lg + kLgfPfSlot, make_raw(lgf_pack(pf, slot)), ObjClass::Marker);
   wr(w, lg + kLgfResume, make_raw(lgf_pack(w.lgf, static_cast<u64>(resume_p))),
      ObjClass::Marker);
@@ -270,7 +276,9 @@ void Machine::start_goal(Worker& w, u64 pf, u64 slot, i32 entry, int arity,
                          const u64* args, i32 resume_p) {
   u64 mk = w.ctop;
   if (mk + kMarkerSize > w.control_limit)
-    fail("control stack overflow (marker) on PE " + std::to_string(w.pe));
+    throw ResourceExhaustedError(
+        "control", "resource_exhausted: control stack overflow (marker) on PE " +
+                       std::to_string(w.pe));
   wr(w, mk + kMkPF, make_raw(pf), ObjClass::Marker);
   wr(w, mk + kMkSlot, make_raw(slot), ObjClass::Marker);
   wr(w, mk + kMkSavedB, make_raw(w.b), ObjClass::Marker);

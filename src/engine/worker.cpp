@@ -17,7 +17,17 @@ void Machine::wr(Worker& w, u64 addr, u64 cell, ObjClass cls) {
 }
 
 u64 Machine::heap_push(Worker& w, u64 cell) {
-  if (w.h >= w.heap_limit) fail("heap overflow on PE " + std::to_string(w.pe));
+  if (w.h >= w.heap_limit)
+    throw ResourceExhaustedError(
+        "heap", "resource_exhausted: heap overflow on PE " + std::to_string(w.pe));
+  if (cfg_.faults.fail_heap_growth_n) [[unlikely]] {
+    // Deterministic fault injection: pretend the Nth allocation hit
+    // the cap (same structured error, same unwind path).
+    if (++heap_pushes_ == cfg_.faults.fail_heap_growth_n)
+      throw ResourceExhaustedError(
+          "heap", "resource_exhausted: injected heap-growth fault on PE " +
+                      std::to_string(w.pe));
+  }
   wr(w, w.h, cell, ObjClass::HeapTerm);
   w.hw_heap = std::max(w.hw_heap, w.h + 1 - w.heap_base);
   return w.h++;
@@ -44,7 +54,9 @@ u64 Machine::local_top(Worker& w) {
 void Machine::push_env(Worker& w, int ny) {
   u64 base = local_top(w);
   if (base + env_size(static_cast<u64>(ny)) > w.local_limit)
-    fail("local stack overflow on PE " + std::to_string(w.pe));
+    throw ResourceExhaustedError(
+        "local", "resource_exhausted: local stack overflow on PE " +
+                     std::to_string(w.pe));
   wr(w, base + kEnvCE, make_raw(w.e), ObjClass::EnvControl);
   wr(w, base + kEnvCP, make_raw(static_cast<u64>(w.cp)), ObjClass::EnvControl);
   wr(w, base + kEnvNY, make_raw(static_cast<u64>(ny)), ObjClass::EnvControl);
@@ -65,7 +77,9 @@ void Machine::pop_env(Worker& w) {
 void Machine::push_choice(Worker& w, int nargs, i32 bp) {
   u64 base = w.ctop;
   if (base + cp_size(static_cast<u64>(nargs)) > w.control_limit)
-    fail("control stack overflow on PE " + std::to_string(w.pe));
+    throw ResourceExhaustedError(
+        "control", "resource_exhausted: control stack overflow on PE " +
+                       std::to_string(w.pe));
   u64 ltop = local_top(w);
   wr(w, base + kCpNArgs, make_raw(static_cast<u64>(nargs)), ObjClass::ChoicePoint);
   wr(w, base + kCpCE, make_raw(w.e), ObjClass::ChoicePoint);
@@ -148,7 +162,9 @@ void Machine::trail(Worker& w, u64 addr) {
     needed = (w.b != 0 && addr < w.b_ltop);
   }
   if (!needed) return;
-  if (w.tr >= w.trail_limit) fail("trail overflow on PE " + std::to_string(w.pe));
+  if (w.tr >= w.trail_limit)
+    throw ResourceExhaustedError(
+        "trail", "resource_exhausted: trail overflow on PE " + std::to_string(w.pe));
   wr(w, w.tr++, make_raw(addr), ObjClass::TrailEntry);
   w.hw_trail = std::max(w.hw_trail, w.tr - w.trail_base);
 }

@@ -15,7 +15,9 @@ AreaSizes bench_area_sizes() {
 }
 
 RunResult run_into(const BenchProgram& bp, unsigned pes, bool strip,
-                   TraceSink* sink, unsigned max_solutions) {
+                   TraceSink* sink, unsigned max_solutions,
+                   const ResourceLimits& limits, const EngineFaults& faults,
+                   const CancelToken* cancel) {
   Program prog;
   prog.consult(bp.source);
   MachineConfig cfg;
@@ -23,8 +25,10 @@ RunResult run_into(const BenchProgram& bp, unsigned pes, bool strip,
   cfg.sizes = bench_area_sizes();
   cfg.strip_cge = strip;
   cfg.max_solutions = max_solutions;
+  cfg.limits = limits;
+  cfg.faults = faults;
   Machine m(prog, cfg);
-  RunResult res = m.solve(bp.goal + ".", sink);
+  RunResult res = m.solve(bp.goal + ".", sink, cancel);
   if (!res.success)
     fail("benchmark '" + bp.name + "' found no solution — broken program?");
   return res;

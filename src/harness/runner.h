@@ -32,7 +32,14 @@ BenchRun run_wam(const BenchProgram& bp, bool want_trace, unsigned max_solutions
 /// consumer: ChunkingSink (shared storage), StreamSink (concurrent
 /// replay), FileTraceSink (archive), CountingSink (counters only).
 /// `strip` compiles the sequential-WAM baseline, as run_wam does.
+/// `limits` / `faults` / `cancel` thread the engine governance knobs
+/// through: resource budgets throw ResourceExhaustedError, a cancelled
+/// or expired token throws CancelledError mid-generation. Defaults are
+/// the ungoverned run (bit-identical to the pre-governance engine).
 RunResult run_into(const BenchProgram& bp, unsigned pes, bool strip,
-                   TraceSink* sink, unsigned max_solutions = 1);
+                   TraceSink* sink, unsigned max_solutions = 1,
+                   const ResourceLimits& limits = {},
+                   const EngineFaults& faults = {},
+                   const CancelToken* cancel = nullptr);
 
 }  // namespace rapwam

@@ -11,7 +11,8 @@ TraceLibrary& TraceLibrary::instance() {
 
 std::shared_ptr<const GeneratedTrace> TraceLibrary::get(
     const std::string& bench, BenchScale scale, unsigned pes, bool wam,
-    unsigned max_solutions, const CancelToken* cancel) {
+    unsigned max_solutions, const CancelToken* cancel,
+    const EngineFaults& faults) {
   Key key{bench, static_cast<int>(scale), pes, wam, max_solutions};
   std::shared_future<std::shared_ptr<const GeneratedTrace>> fut;
   std::promise<std::shared_ptr<const GeneratedTrace>> pr;
@@ -31,12 +32,14 @@ std::shared_ptr<const GeneratedTrace> TraceLibrary::get(
     // Generate outside the lock so other keys generate concurrently.
     try {
       ChunkingSink sink(/*busy_only=*/true);
-      // The cancellation checkpoint rides the chunk handoff: one check
-      // per kChunkRefs emitted references, nothing per reference.
+      // The cancellation checkpoint rides both the chunk handoff (one
+      // check per kChunkRefs emitted references) and the engine cycle
+      // loop (run_into threads the token down), so a generation that
+      // emits nothing is still interruptible.
       CancelCheckSink checked(sink, cancel);
       auto out = std::make_shared<GeneratedTrace>();
       out->stats = run_into(bench_program(bench, scale), pes, wam, &checked,
-                            max_solutions)
+                            max_solutions, ResourceLimits{}, faults, cancel)
                        .stats;
       out->trace = sink.take();
       pr.set_value(std::move(out));
@@ -47,10 +50,18 @@ std::shared_ptr<const GeneratedTrace> TraceLibrary::get(
       // get() could pick up the poisoned future instead of retrying.
       // Eviction first means every requester that arrives from now on
       // regenerates; only the ones already waiting share this failure.
+      bool was_cancel = false;
+      try {
+        throw;
+      } catch (const CancelledError&) {
+        was_cancel = true;
+      } catch (...) {
+      }
       {
         std::scoped_lock lk(mu_);
         map_.erase(key);
         ++failed_;
+        if (was_cancel) ++cancelled_;
       }
       pr.set_exception(std::current_exception());
     }
@@ -94,6 +105,11 @@ std::size_t TraceLibrary::size() const {
 u64 TraceLibrary::failed_generations() const {
   std::scoped_lock lk(mu_);
   return failed_;
+}
+
+u64 TraceLibrary::cancelled_generations() const {
+  std::scoped_lock lk(mu_);
+  return cancelled_;
 }
 
 }  // namespace rapwam

@@ -54,16 +54,25 @@ class TraceLibrary {
   /// `wam` selects the stripped sequential baseline (run_wam).
   ///
   /// `cancel` (optional) bounds the call: if this get() is the one
-  /// generating, the run is checkpointed at chunk granularity and an
-  /// aborted generation is evicted (a later get() retries); if it is
-  /// waiting on another requester's generation, only the *wait* is
-  /// bounded — the generation itself keeps running and lands in the
-  /// cache for whoever asks next.
+  /// generating, the token is threaded into the engine's cycle loop
+  /// *and* the chunk handoff, so even a run that emits no references
+  /// (a pure-compute runaway) is interrupted, the aborted generation is
+  /// evicted, and a later get() retries; if it is waiting on another
+  /// requester's generation, only the *wait* is bounded — the
+  /// generation itself keeps running and lands in the cache for
+  /// whoever asks next.
+  ///
+  /// `faults` (optional) are engine-side fault injections for this
+  /// generation only. They are deliberately NOT part of the memo key:
+  /// fault-bearing requests are test traffic, and a faulted generation
+  /// either throws (evicted, never cached) or completes with output
+  /// identical to the clean run (stalls don't change the stream).
   std::shared_ptr<const GeneratedTrace> get(const std::string& bench,
                                             BenchScale scale, unsigned pes,
                                             bool wam = false,
                                             unsigned max_solutions = 1,
-                                            const CancelToken* cancel = nullptr);
+                                            const CancelToken* cancel = nullptr,
+                                            const EngineFaults& faults = {});
 
   /// Generates any missing (bench × pes) combinations on `pool` and
   /// blocks until all are present. Subsequent get()s are hits.
@@ -78,6 +87,9 @@ class TraceLibrary {
   /// Generations that threw and were evicted since construction
   /// (server stats / tests).
   u64 failed_generations() const;
+  /// The subset of failed_generations() aborted by cancellation or a
+  /// deadline (CancelledError) rather than a genuine error.
+  u64 cancelled_generations() const;
 
  private:
   using Key = std::tuple<std::string, int, unsigned, bool, unsigned>;
@@ -85,6 +97,7 @@ class TraceLibrary {
   mutable std::mutex mu_;
   std::map<Key, std::shared_future<std::shared_ptr<const GeneratedTrace>>> map_;
   u64 failed_ = 0;
+  u64 cancelled_ = 0;
 };
 
 }  // namespace rapwam

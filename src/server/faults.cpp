@@ -21,6 +21,9 @@ FaultPlan FaultPlan::from_json(const JsonValue& v) {
     else if (key == "truncate_checkpoint") p.truncate_checkpoint_n = static_cast<u32>(n);
     else if (key == "truncate_bytes") p.truncate_checkpoint_bytes = static_cast<u32>(n);
     else if (key == "flip_checkpoint") p.flip_checkpoint_n = static_cast<u32>(n);
+    else if (key == "gen_fail_heap") p.gen_fail_heap_n = static_cast<u32>(n);
+    else if (key == "gen_stall_every") p.gen_stall_every = static_cast<u32>(n);
+    else if (key == "gen_stall_ms") p.gen_stall_ms = static_cast<u32>(n);
     else fail("fault: unknown member \"" + key + "\"");
   }
   return p;

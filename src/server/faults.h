@@ -19,6 +19,7 @@
 #include <atomic>
 #include <optional>
 
+#include "engine/machine.h"  // EngineFaults
 #include "server/json.h"
 
 namespace rapwam {
@@ -50,10 +51,30 @@ struct FaultPlan {
   /// checksum was computed — silent media corruption. Resume must
   /// reject it by checksum, never replay from it.
   u32 flip_checkpoint_n = 0;
+  /// Engine-side faults: forwarded into MachineConfig::faults when
+  /// this request triggers a trace *generation* (no effect on cache
+  /// hits). gen_fail_heap fails the Nth heap allocation with
+  /// resource_exhausted; gen_stall_every/gen_stall_ms stall the cycle
+  /// loop — the "slow generation" that deadline-cancellation tests pin.
+  u32 gen_fail_heap_n = 0;
+  u32 gen_stall_every = 0;
+  u32 gen_stall_ms = 0;
 
   bool any() const {
     return fail_alloc_n || throw_chunk_n || stall_ms || fail_checkpoint_n ||
-           truncate_checkpoint_n || flip_checkpoint_n;
+           truncate_checkpoint_n || flip_checkpoint_n || gen_fail_heap_n ||
+           gen_stall_every || gen_stall_ms;
+  }
+
+  /// The engine-side slice of the plan, in MachineConfig terms.
+  /// A default gen_stall_ms rides along with gen_stall_every so a test
+  /// only has to name the cadence.
+  EngineFaults engine_faults() const {
+    EngineFaults f;
+    f.fail_heap_growth_n = gen_fail_heap_n;
+    f.stall_every_cycles = gen_stall_every;
+    f.stall_ms = gen_stall_ms ? gen_stall_ms : (gen_stall_every ? 10 : 0);
+    return f;
   }
 
   /// Parses the request's "fault" object; throws Error (→ bad_request)

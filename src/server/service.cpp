@@ -187,6 +187,12 @@ std::string Service::execute(const Request& req) {
     account(false, false);
     return error_response(req.id, ErrCode::ResourceExhausted,
                           "allocation failure executing request");
+  } catch (const ResourceExhaustedError& e) {
+    // Engine budget trips (heap/stack/trail/step caps) map to the same
+    // wire code as allocation failure: the request asked for more than
+    // the server will spend, and retrying as-is won't help.
+    account(false, false);
+    return error_response(req.id, ErrCode::ResourceExhausted, e.what());
   } catch (const Error& e) {
     account(false, false);
     return error_response(req.id, ErrCode::Failed, e.what());
@@ -212,9 +218,13 @@ std::shared_ptr<const ChunkedTrace> Service::acquire_trace(
   pes_out = req.pes;
   // Shared memoized library: concurrent requests for the same
   // (bench, pes) wait on one generation; a failed/cancelled generation
-  // is evicted, never cached (harness/trace_lib.h).
-  std::shared_ptr<const GeneratedTrace> g = TraceLibrary::instance().get(
-      req.bench, req.scale, req.pes, /*wam=*/false, req.max_solutions, &cancel);
+  // is evicted, never cached (harness/trace_lib.h). The request's
+  // engine-side fault slice (gen_*) rides into the generation run so
+  // slow/failing generations are provokable deterministically.
+  EngineFaults ef = req.fault ? req.fault->engine_faults() : EngineFaults{};
+  std::shared_ptr<const GeneratedTrace> g =
+      TraceLibrary::instance().get(req.bench, req.scale, req.pes, /*wam=*/false,
+                                   req.max_solutions, &cancel, ef);
   return g->trace;
 }
 
@@ -443,6 +453,9 @@ JsonValue Service::run_stats() {
           JsonValue::integer(static_cast<i64>(TraceLibrary::instance().size())));
   out.set("trace_library_failed_generations",
           JsonValue::unsigned_int(TraceLibrary::instance().failed_generations()));
+  out.set("trace_library_cancelled_generations",
+          JsonValue::unsigned_int(
+              TraceLibrary::instance().cancelled_generations()));
   return out;
 }
 

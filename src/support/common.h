@@ -28,6 +28,21 @@ class Error : public std::runtime_error {
 
 [[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
 
+/// Thrown when a query trips a configured resource budget (heap / local
+/// stack / control stack / trail / instruction budget) or an engine
+/// fault injection simulating one. `resource()` names the budget that
+/// tripped (e.g. "heap", "steps") so callers can map it to a structured
+/// wire error instead of string-matching what().
+class ResourceExhaustedError : public Error {
+ public:
+  ResourceExhaustedError(std::string resource, const std::string& what)
+      : Error(what), resource_(std::move(resource)) {}
+  const std::string& resource() const { return resource_; }
+
+ private:
+  std::string resource_;
+};
+
 /// Release-mode-checked invariant. Used for internal consistency checks
 /// whose violation would silently corrupt simulation results.
 #define RW_CHECK(cond, msg)                                              \

@@ -14,6 +14,7 @@
 #include "cache/multisim.h"
 #include "compiler/compile.h"
 #include "compiler/fuse.h"
+#include "compiler/verify.h"
 #include "harness/runner.h"
 #include "test_rand.h"
 #include "trace/chunks.h"
@@ -183,6 +184,8 @@ TEST(FusePass, FusesStraightLinePairs) {
   EXPECT_EQ(code.at(a0).imm, 4);
   // The proc entry after the collapsed window was remapped.
   EXPECT_EQ(code.at(code.proc(procq).entry).op, Op::Proceed);
+  // The rewritten store still passes the bytecode verifier.
+  EXPECT_NO_THROW(verify_code(code));
 }
 
 TEST(FusePass, NeverFusesAcrossProcEntry) {
@@ -241,6 +244,7 @@ TEST(FusePass, NeverFusesAcrossChoicePointChainSlot) {
   EXPECT_EQ(code.at(code.at(e).a).a, 1);
   EXPECT_EQ(code.at(code.at(e + 1).a).op, Op::FusePutValueX2);
   EXPECT_EQ(code.at(code.at(e + 1).a).a, 5);
+  EXPECT_NO_THROW(verify_code(code));
 }
 
 TEST(FusePass, NeverFusesAcrossExplicitBranchTarget) {
@@ -319,6 +323,10 @@ TEST(FusePass, CompileOptionsToggleControlsFusion) {
   EXPECT_TRUE(has_fused_op);
   for (i32 a = 0; a < unfused->size(); ++a)
     EXPECT_EQ(fused_width(unfused->at(a).op), 1) << "addr " << a;
+  // Both compilation modes emit verifier-clean code (compile_program
+  // verifies internally; pin the invariant explicitly here too).
+  EXPECT_NO_THROW(verify_code(*fused));
+  EXPECT_NO_THROW(verify_code(*unfused));
 }
 
 }  // namespace

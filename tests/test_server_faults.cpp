@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <thread>
 
@@ -452,6 +453,55 @@ TEST(ServerCheckpoint, CheckpointWriteCrashMeansCleanRetry) {
   EXPECT_EQ(retry.result.find("resumed_chunks")->as_int(), 0);
   EXPECT_EQ(stat_of(ts, "resumes"), 0u);
   EXPECT_EQ(stat_of(ts, "corrupt_checkpoints_rejected"), 0u);
+}
+
+// --- cancellable trace generation (docs/DESIGN.md §14) ---------------------
+//
+// A request whose trace is not yet memoized triggers a generation on
+// the worker thread; the request's deadline must be able to kill the
+// generation itself — not just the replay — with the worker freed and
+// the half-built trace evicted so the next request regenerates.
+
+TEST(ServerFaults, SlowGenerationHitsDeadlineAndFreesTheWorker) {
+  TestServer ts("genstall");
+  TraceLibrary::instance().clear();  // force a real generation
+  u64 cancelled_before = stat_of(ts, "trace_library_cancelled_generations");
+
+  // gen_stall_every/gen_stall_ms stall the engine's cycle loop, so a
+  // 100ms deadline strikes at a mid-generation cancellation checkpoint
+  // (~every 1024 cycles). The elapsed bound is deliberately loose for
+  // sanitizer builds; unloaded, the response lands around 2x deadline.
+  auto t0 = std::chrono::steady_clock::now();
+  Response dead = ts.ask(
+      R"({"op":"replay","bench":"tak","pes":2,"deadline_ms":100,"fault":{"gen_stall_every":256,"gen_stall_ms":20}})");
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.code, "deadline_exceeded");
+  EXPECT_LT(elapsed.count(), 2000) << "generation was not cancelled promptly";
+
+  // The worker is free again: control plane answers, the cancelled
+  // generation was counted, and — because the half-built entry was
+  // evicted — the same point regenerates cleanly without the fault.
+  EXPECT_TRUE(ts.ask(R"({"op":"ping"})").ok);
+  EXPECT_GE(stat_of(ts, "trace_library_cancelled_generations"),
+            cancelled_before + 1);
+  Response clean = ts.ask(R"({"op":"replay","bench":"tak","pes":2})", 120000);
+  ASSERT_TRUE(clean.ok) << clean.code << ": " << clean.message;
+}
+
+TEST(ServerFaults, GenerationHeapFaultIsStructuredAndTransient) {
+  TestServer ts("genheap");
+  TraceLibrary::instance().clear();
+  Response r = ts.ask(
+      R"({"op":"replay","bench":"deriv","pes":2,"fault":{"gen_fail_heap":1}})");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, "resource_exhausted");
+  EXPECT_NE(r.message.find("injected"), std::string::npos) << r.message;
+  // Error-aware memoization: the failed generation was evicted, so the
+  // retry without the fault plan succeeds.
+  Response clean = ts.ask(R"({"op":"replay","bench":"deriv","pes":2})", 120000);
+  ASSERT_TRUE(clean.ok) << clean.code << ": " << clean.message;
 }
 
 }  // namespace

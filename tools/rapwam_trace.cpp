@@ -2,6 +2,10 @@
 // traces.
 //
 //   rapwam_trace record --bench qsort --pes 4 --out qsort4.trc [--scale paper]
+//                       [--max-heap-mb MB] [--max-steps N] [--timeout-ms MS]
+//   rapwam_trace run    --bench qsort --pes 4 [--scale paper] [--wam]
+//                       [--solutions N] [--max-heap-mb MB] [--max-steps N]
+//                       [--timeout-ms MS]
 //   rapwam_trace stats  qsort4.trc [--pes 4]
 //   rapwam_trace replay qsort4.trc --protocol broadcast --size 1024 [--pes 4]
 //                       [--l2 4096] [--l2-ways 8] [--l2-noninclusive]
@@ -38,7 +42,13 @@
 // diffing against an uninterrupted run's output. --enable-faults with
 // --fault '<json>' drives the same injection matrix as the server
 // (server/faults.h), including the checkpoint crash/corruption sites.
-// Traces are the 8-byte packed records of src/trace/memref.h.
+//
+// `record` and `run` execute the WAM engine, so they take the engine
+// governance flags: --max-heap-mb / --max-steps bound the query's heap
+// and instruction budget (a trip exits with structured text naming the
+// budget), --timeout-ms deadline-kills the generation mid-run, and
+// --enable-faults --fault '{"gen_...": N}' drives the engine-side
+// fault sites. Traces are the 8-byte packed records of src/trace/memref.h.
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
@@ -177,19 +187,81 @@ std::optional<RestoredReplay> try_resume(const Cli& cli,
   }
 }
 
+/// Engine resource budgets from --max-heap-mb / --max-steps (0 = off).
+ResourceLimits limits_from_cli(const Cli& cli) {
+  ResourceLimits lim;
+  i64 mb = cli.get_int("max-heap-mb", 0);
+  if (mb < 0) fail("--max-heap-mb must be non-negative");
+  lim.max_heap_words = static_cast<u64>(mb) * (1024 * 1024 / 8);
+  i64 steps = cli.get_int("max-steps", 0);
+  if (steps < 0) fail("--max-steps must be non-negative");
+  lim.max_steps = static_cast<u64>(steps);
+  return lim;
+}
+
+/// Deadline token from --timeout-ms; nullopt when the flag is absent.
+std::optional<CancelToken> timeout_from_cli(const Cli& cli) {
+  i64 ms = cli.get_int("timeout-ms", 0);
+  if (ms <= 0) return std::nullopt;
+  return CancelToken::with_deadline(std::chrono::milliseconds(ms));
+}
+
+/// The engine-side (gen_*) slice of --enable-faults --fault '<json>'.
+EngineFaults engine_faults_from_cli(const Cli& cli) {
+  if (!cli.has("fault")) return {};
+  if (!cli.has("enable-faults"))
+    fail("fault injection is disabled (pass --enable-faults)");
+  return FaultPlan::from_json(json_parse(cli.get("fault", "{}"))).engine_faults();
+}
+
 int cmd_record(const Cli& cli) {
   std::string bench = cli.get("bench", "qsort");
   unsigned pes = check_pes(static_cast<unsigned>(cli.get_int("pes", 4)));
   std::string out = cli.get("out", bench + ".trc");
   BenchScale scale = cli.get("scale", "small") == "paper" ? BenchScale::Paper
                                                           : BenchScale::Small;
+  std::optional<CancelToken> deadline = timeout_from_cli(cli);
   // Chunks stream straight from the emulator to the file: recording a
   // multi-million-reference trace needs O(chunk) memory.
   FileTraceSink sink(out, /*busy_only=*/true);
-  run_into(bench_program(bench, scale), pes, /*strip=*/false, &sink);
+  run_into(bench_program(bench, scale), pes, /*strip=*/false, &sink,
+           /*max_solutions=*/1, limits_from_cli(cli), engine_faults_from_cli(cli),
+           deadline ? &*deadline : nullptr);
   sink.close();
   std::printf("wrote %llu references to %s (recorded on %u PEs)\n",
               (unsigned long long)sink.written(), out.c_str(), sink.counts().pes());
+  return 0;
+}
+
+/// Runs a benchmark without recording a trace: the governed-execution
+/// front end (budgets, timeout, engine faults) plus a RunStats summary.
+int cmd_run(const Cli& cli) {
+  std::string bench = cli.get("bench", "qsort");
+  unsigned pes = check_pes(static_cast<unsigned>(cli.get_int("pes", 1)));
+  BenchScale scale = cli.get("scale", "small") == "paper" ? BenchScale::Paper
+                                                          : BenchScale::Small;
+  unsigned sols = static_cast<unsigned>(cli.get_int("solutions", 1));
+  std::optional<CancelToken> deadline = timeout_from_cli(cli);
+  RunResult res = run_into(bench_program(bench, scale), pes,
+                           /*strip=*/cli.has("wam"), /*sink=*/nullptr, sols,
+                           limits_from_cli(cli), engine_faults_from_cli(cli),
+                           deadline ? &*deadline : nullptr);
+  const RunStats& s = res.stats;
+  std::printf("%s (%s): %llu solution(s) on %u PEs%s\n", bench.c_str(),
+              scale == BenchScale::Paper ? "paper" : "small",
+              (unsigned long long)s.solutions, pes,
+              cli.has("wam") ? " [sequential WAM]" : "");
+  std::printf("  instructions  %llu\n", (unsigned long long)s.instructions);
+  std::printf("  inferences    %llu\n", (unsigned long long)s.calls);
+  std::printf("  cycles        %llu\n", (unsigned long long)s.cycles);
+  std::printf("  references    %llu  (busy %llu)\n",
+              (unsigned long long)s.refs.total, (unsigned long long)s.refs.busy);
+  std::printf("  high water    heap %llu / local %llu / control %llu / "
+              "trail %llu words\n",
+              (unsigned long long)s.high_water[static_cast<std::size_t>(Area::Heap)],
+              (unsigned long long)s.high_water[static_cast<std::size_t>(Area::Local)],
+              (unsigned long long)s.high_water[static_cast<std::size_t>(Area::Control)],
+              (unsigned long long)s.high_water[static_cast<std::size_t>(Area::Trail)]);
   return 0;
 }
 
@@ -539,12 +611,13 @@ int main(int argc, char** argv) {
   try {
     if (cli.positional().empty()) {
       std::puts(
-          "usage: rapwam_trace record|stats|replay|time|sweep|dump|golden|"
+          "usage: rapwam_trace record|run|stats|replay|time|sweep|dump|golden|"
           "serve|request ... (see source header)");
       return 2;
     }
     const std::string& cmd = cli.positional()[0];
     if (cmd == "record") return cmd_record(cli);
+    if (cmd == "run") return cmd_run(cli);
     if (cmd == "stats") return cmd_stats(cli);
     if (cmd == "replay") return cmd_replay(cli);
     if (cmd == "time") return cmd_time(cli);
@@ -555,6 +628,17 @@ int main(int argc, char** argv) {
     if (cmd == "request") return cmd_request(cli);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
+  } catch (const ResourceExhaustedError& e) {
+    // Structured budget trip: name the budget so scripts can branch on
+    // it without parsing the prose.
+    std::fprintf(stderr, "error: resource budget '%s' tripped: %s\n",
+                 e.resource().c_str(), e.what());
+    return 1;
+  } catch (const CancelledError& e) {
+    std::fprintf(stderr, "error: %s: %s\n",
+                 e.deadline_exceeded() ? "deadline_exceeded" : "cancelled",
+                 e.what());
+    return 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
